@@ -1,0 +1,239 @@
+// Command collectnode runs one live participant of the indirect collection
+// protocol over TCP: either a peer (generating and gossiping coded
+// statistics blocks) or a logging server (pulling and decoding segments).
+//
+// A three-participant session on one machine:
+//
+//	collectnode -mode peer   -id 1 -listen 127.0.0.1:7001 \
+//	    -book 2=127.0.0.1:7002,3=127.0.0.1:7003 -neighbors 2
+//	collectnode -mode peer   -id 2 -listen 127.0.0.1:7002 \
+//	    -book 1=127.0.0.1:7001,3=127.0.0.1:7003 -neighbors 1
+//	collectnode -mode server -id 3 -listen 127.0.0.1:7003 \
+//	    -book 1=127.0.0.1:7001,2=127.0.0.1:7002 -peers 1,2
+//
+// The process runs until the duration elapses (or forever with -duration 0,
+// until SIGINT) and prints its statistics on exit.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"p2pcollect"
+	"p2pcollect/internal/logdata"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "collectnode:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("collectnode", flag.ContinueOnError)
+	var (
+		mode      = fs.String("mode", "peer", "peer or server")
+		id        = fs.Uint64("id", 1, "node id (unique across the session)")
+		listen    = fs.String("listen", "127.0.0.1:0", "TCP listen address")
+		book      = fs.String("book", "", "address book: id=addr,id=addr,...")
+		neighbors = fs.String("neighbors", "", "peer mode: comma-separated neighbor ids")
+		peersList = fs.String("peers", "", "server mode: comma-separated peer ids to pull from")
+		duration  = fs.Duration("duration", 0, "how long to run (0 = until SIGINT)")
+
+		segSize   = fs.Int("s", 8, "segment size")
+		blockSize = fs.Int("blocksize", logdata.RecordSize, "payload bytes per block")
+		lambda    = fs.Float64("lambda", 5, "blocks generated per second")
+		mu        = fs.Float64("mu", 10, "gossip blocks per second")
+		gamma     = fs.Float64("gamma", 0.2, "block expiry rate per second")
+		bufferCap = fs.Int("buffer", 512, "buffer capacity in blocks")
+		pullRate  = fs.Float64("pullrate", 20, "server pulls per second")
+		seed      = fs.Int64("seed", time.Now().UnixNano(), "random seed")
+		outPath   = fs.String("out", "", "server mode: append recovered records to this CSV file")
+		statsAddr = fs.String("stats-addr", "", "serve live JSON stats over HTTP on this address (e.g. 127.0.0.1:8080)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	addrBook, err := parseBook(*book)
+	if err != nil {
+		return err
+	}
+	tr, err := p2pcollect.NewTCPTransport(p2pcollect.NodeID(*id), *listen, addrBook)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("node %d listening on %s\n", *id, tr.Addr())
+
+	stopAfter := make(<-chan time.Time)
+	if *duration > 0 {
+		stopAfter = time.After(*duration)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	switch *mode {
+	case "peer":
+		ids, err := parseIDs(*neighbors)
+		if err != nil {
+			return fmt.Errorf("-neighbors: %w", err)
+		}
+		if len(ids) == 0 {
+			return fmt.Errorf("peer mode needs -neighbors")
+		}
+		node, err := p2pcollect.NewNode(tr, p2pcollect.NodeConfig{
+			SegmentSize: *segSize,
+			BlockSize:   *blockSize,
+			Lambda:      *lambda,
+			Mu:          *mu,
+			Gamma:       *gamma,
+			BufferCap:   *bufferCap,
+			Neighbors:   ids,
+			Seed:        *seed,
+		})
+		if err != nil {
+			return err
+		}
+		stopStats, err := serveStats(*statsAddr, func() any { return node.Stats() })
+		if err != nil {
+			return err
+		}
+		defer stopStats()
+		if err := node.Start(); err != nil {
+			return err
+		}
+		select {
+		case <-sig:
+		case <-stopAfter:
+		}
+		node.Stop()
+		fmt.Printf("peer stats: %+v\n", node.Stats())
+		return nil
+
+	case "server":
+		ids, err := parseIDs(*peersList)
+		if err != nil {
+			return fmt.Errorf("-peers: %w", err)
+		}
+		srv, err := p2pcollect.NewServer(tr, p2pcollect.ServerConfig{
+			PullRate: *pullRate,
+			Peers:    ids,
+			Seed:     *seed,
+		})
+		if err != nil {
+			return err
+		}
+		var csv *logdata.CSVWriter
+		if *outPath != "" {
+			f, err := os.OpenFile(*outPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return fmt.Errorf("open -out: %w", err)
+			}
+			defer f.Close()
+			csv = logdata.NewCSVWriter(f)
+		}
+		srv.OnSegment = func(segID p2pcollect.SegmentID, blocks [][]byte) {
+			records := 0
+			for _, b := range blocks {
+				if csv != nil {
+					if n, err := csv.WriteBlock(b); err == nil {
+						records += n
+						continue
+					}
+				}
+				if rs, err := logdata.UnpackRecords(b); err == nil {
+					records += len(rs)
+				}
+			}
+			fmt.Printf("decoded segment %v: %d blocks, %d records\n", segID, len(blocks), records)
+		}
+		stopStats, err := serveStats(*statsAddr, func() any { return srv.Stats() })
+		if err != nil {
+			return err
+		}
+		defer stopStats()
+		if err := srv.Start(); err != nil {
+			return err
+		}
+		select {
+		case <-sig:
+		case <-stopAfter:
+		}
+		srv.Stop()
+		fmt.Printf("server stats: %+v\n", srv.Stats())
+		return nil
+
+	default:
+		return fmt.Errorf("unknown -mode %q (want peer or server)", *mode)
+	}
+}
+
+// serveStats exposes the snapshot function as JSON on GET /stats. It
+// returns a stop function (a no-op when addr is empty).
+func serveStats(addr string, snapshot func() any) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("stats listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	server := &http.Server{Handler: mux}
+	go server.Serve(ln) //nolint:errcheck // closed on stop
+	fmt.Printf("stats at http://%s/stats\n", ln.Addr())
+	return func() { server.Close() }, nil
+}
+
+// parseBook parses "id=addr,id=addr" into an address book.
+func parseBook(s string) (map[p2pcollect.NodeID]string, error) {
+	book := make(map[p2pcollect.NodeID]string)
+	if s == "" {
+		return book, nil
+	}
+	for _, entry := range strings.Split(s, ",") {
+		id, addr, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad book entry %q (want id=addr)", entry)
+		}
+		n, err := strconv.ParseUint(id, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad book id %q: %w", id, err)
+		}
+		book[p2pcollect.NodeID(n)] = addr
+	}
+	return book, nil
+}
+
+// parseIDs parses "1,2,3" into node IDs.
+func parseIDs(s string) ([]p2pcollect.NodeID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	ids := make([]p2pcollect.NodeID, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.ParseUint(strings.TrimSpace(p), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad id %q: %w", p, err)
+		}
+		ids = append(ids, p2pcollect.NodeID(n))
+	}
+	return ids, nil
+}

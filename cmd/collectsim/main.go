@@ -1,0 +1,67 @@
+// Command collectsim regenerates the paper's evaluation figures and tables
+// from the analytical model and the discrete-event simulator.
+//
+// Usage:
+//
+//	collectsim -experiment fig3 [-n 300] [-horizon 40] [-warmup 15] [-seed 42] [-csv]
+//	collectsim -experiment all
+//
+// Experiments: fig3, fig4, fig5, fig6, overhead (t1), s1 (t2),
+// baseline (t3), drain (t4), ablation (a1), feedback (a2), all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"p2pcollect/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "collectsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("collectsim", flag.ContinueOnError)
+	var (
+		experiment = fs.String("experiment", "all", "experiment to run: fig3, fig4, fig5, fig6, overhead, s1, baseline, drain, ablation, feedback, all")
+		n          = fs.Int("n", 0, "simulated peer population (0 = default)")
+		horizon    = fs.Float64("horizon", 0, "simulated duration per run (0 = default)")
+		warmup     = fs.Float64("warmup", 0, "measurement warmup per run (0 = default)")
+		seed       = fs.Int64("seed", 0, "random seed (0 = default)")
+		csv        = fs.Bool("csv", false, "emit CSV instead of an aligned table")
+		chart      = fs.Bool("chart", false, "draw an ASCII chart after the table")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := experiments.Options{N: *n, Horizon: *horizon, Warmup: *warmup, Seed: *seed}
+	if *experiment == "all" {
+		if *csv {
+			return fmt.Errorf("-csv is only supported for single experiments")
+		}
+		return experiments.All(opt, out)
+	}
+	gen, ok := experiments.ByName(*experiment)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q", *experiment)
+	}
+	tbl, err := gen(opt)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		_, err = fmt.Fprint(out, tbl.RenderCSV())
+	} else {
+		_, err = fmt.Fprint(out, tbl.Render())
+	}
+	if err == nil && *chart {
+		_, err = fmt.Fprint(out, "\n"+tbl.RenderChart())
+	}
+	return err
+}

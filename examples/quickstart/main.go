@@ -1,0 +1,75 @@
+// Quickstart: simulate the indirect collection protocol at one parameter
+// setting, compare the measured session throughput, storage overhead, and
+// delay against the paper's analytical predictions (Theorems 1-3), and show
+// the direct-pull baseline losing data the indirect mechanism keeps.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"p2pcollect"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n      = 300
+		lambda = 10.0 // blocks generated per peer per unit time
+		mu     = 8.0  // gossip bandwidth per peer
+		gamma  = 1.0  // TTL rate: mean block lifetime 1/γ
+		c      = 4.0  // normalized server capacity (0.4× demand)
+		s      = 16   // segment size: 16 blocks coded together
+	)
+
+	fmt.Println("== Indirect P2P data collection: quickstart ==")
+	fmt.Printf("N=%d peers, lambda=%g, mu=%g, gamma=%g, c=%g (capacity %.0f%% of demand), s=%d\n\n",
+		n, lambda, mu, gamma, c, 100*c/lambda, s)
+
+	// Analytical predictions from the ODE characterization.
+	m, err := p2pcollect.Analyze(p2pcollect.ModelParams{
+		Lambda: lambda, Mu: mu, Gamma: gamma, C: c, S: s,
+	})
+	if err != nil {
+		return fmt.Errorf("analyze: %w", err)
+	}
+
+	// Discrete-event simulation of the full protocol.
+	r, err := p2pcollect.Simulate(p2pcollect.SimConfig{
+		N: n, Lambda: lambda, Mu: mu, Gamma: gamma, SegmentSize: s,
+		BufferCap: 160, C: c, Warmup: 15, Horizon: 45, Seed: 1,
+	})
+	if err != nil {
+		return fmt.Errorf("simulate: %w", err)
+	}
+
+	fmt.Println("metric                         analysis    simulation")
+	fmt.Printf("normalized throughput          %8.3f    %10.3f\n", m.NormalizedThroughput, r.NormalizedThroughput)
+	fmt.Printf("storage overhead (blocks/peer) %8.3f    %10.3f   (bound mu/gamma = %g)\n",
+		m.Overhead, r.StorageOverhead, mu/gamma)
+	fmt.Printf("block delivery delay           %8.3f    %10.3f\n", m.BlockDelay, r.MeanBlockDelay)
+	fmt.Printf("data saved per peer (blocks)   %8.3f    %10.3f\n\n", m.SavedPerPeer, r.SavedPerPeer)
+
+	fmt.Printf("simulated activity: %d segments injected, %d delivered, %d server pulls (%.0f%% useful)\n",
+		r.InjectedSegments, r.DeliveredSegments, r.ServerPulls, 100*r.CollectionEfficiency())
+	fmt.Printf("rank-based ground truth: %d segments fully decodable at the servers\n\n", r.RankDecodedSegments)
+
+	// The same capacity with the traditional architecture.
+	b, err := p2pcollect.SimulateBaseline(p2pcollect.BaselineConfig{
+		N: n, Lambda: lambda, C: c, BufferCap: 40,
+		Warmup: 15, Horizon: 45, Seed: 1,
+	})
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	fmt.Printf("direct-pull baseline at the same capacity: delivered %.3f of demand, lost %.1f%% of blocks to overflow\n",
+		b.NormalizedThroughput, 100*b.LossFraction())
+	fmt.Println("(with c < lambda the server is the bottleneck either way; the indirect scheme")
+	fmt.Println(" turns the overflow into a decentralized buffer that servers drain over time)")
+	return nil
+}

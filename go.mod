@@ -1,0 +1,3 @@
+module p2pcollect
+
+go 1.22

@@ -1,0 +1,147 @@
+// Package analysis computes the paper's analytical results (Theorems 1–4)
+// from the steady-state ODE solutions of package ode: storage overhead,
+// session throughput (including the closed form for the non-coding case),
+// block delivery delay, and the amount of data saved in the network for
+// delayed delivery.
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"p2pcollect/internal/ode"
+)
+
+// ErrNoThroughput is returned when a delay is requested for a configuration
+// that delivers nothing (zero capacity or zero demand).
+var ErrNoThroughput = errors.New("analysis: configuration has zero throughput")
+
+// Metrics bundles every analytical quantity for one parameter setting. All
+// throughputs are normalized by N·λ, matching the figures' y-axes.
+type Metrics struct {
+	Params ode.Params
+
+	// Rho is the average buffered blocks per peer; Overhead = ρ − λ/γ is
+	// Theorem 1's storage overhead; Z0 is the empty-peer fraction.
+	Rho      float64
+	Overhead float64
+	Z0       float64
+
+	// Efficiency is η, the useful fraction of server pulls, and
+	// NormalizedThroughput = c·η/λ is Theorem 2's session throughput over
+	// N·λ. Capacity = c/λ is the dashed capacity line.
+	Efficiency           float64
+	NormalizedThroughput float64
+	Capacity             float64
+
+	// BlockDelay is Theorem 3's T(s) = Σw̃_i/λ − Σm̃_i^s/(λσ), evaluated
+	// exactly as stated. Note that the theorem approximates the lifetime of
+	// *delivered* segments by the unconditional mean lifetime; because
+	// delivered segments are a long-lived subpopulation, the estimator goes
+	// slightly negative at s = 1 where the selection bias is strongest. The
+	// simulator's measured delay (injection → collection-state s) is the
+	// unbiased counterpart.
+	BlockDelay float64
+
+	// SavedPerPeer is Theorem 4's S/N: original blocks per peer buffered in
+	// decodable segments that the servers have not finished collecting.
+	SavedPerPeer float64
+}
+
+// Compute solves the ODE systems for p and evaluates Theorems 1–4.
+func Compute(p ode.Params) (*Metrics, error) {
+	ss, err := ode.Solve(p)
+	if err != nil {
+		return nil, err
+	}
+	return FromSteadyState(ss)
+}
+
+// FromSteadyState evaluates the theorems on an existing steady state,
+// letting sweeps reuse one z/w/m solution across derived quantities.
+func FromSteadyState(ss *ode.SteadyState) (*Metrics, error) {
+	p := ss.Params
+	m := &Metrics{
+		Params:   p,
+		Rho:      ss.Rho,
+		Overhead: ss.Rho - p.Lambda/p.Gamma,
+		Z0:       ss.Z0(),
+	}
+	if p.Lambda > 0 {
+		m.Capacity = p.C / p.Lambda
+	}
+	if ss.E <= 0 || p.C == 0 || p.Lambda == 0 {
+		return m, nil
+	}
+	// Theorem 2: η = 1 − Σ i·m̃_i^s / ẽ.
+	m.Efficiency = 1 - ss.EdgeWeightedMs()/ss.E
+	m.NormalizedThroughput = p.C * m.Efficiency / p.Lambda
+	// Theorem 3: T = Σ w̃_i/λ − Σ m̃_i^s/(λσ).
+	if m.NormalizedThroughput > 0 {
+		m.BlockDelay = ss.SumW()/p.Lambda - ss.SumMs()/(p.Lambda*m.NormalizedThroughput)
+	}
+	// Theorem 4: S/N = s·Σ_{i≥s} (w̃_i − m̃_i^s).
+	var saved float64
+	for i := p.S; i < len(ss.W); i++ {
+		saved += ss.W[i] - ss.M[i][p.S]
+	}
+	m.SavedPerPeer = float64(p.S) * saved
+	return m, nil
+}
+
+// OverheadOnly returns (ρ, overhead) from Theorem 1 without solving the w/m
+// systems; it only needs the peer-degree fixed point.
+func OverheadOnly(p ode.Params) (rho, overhead float64, err error) {
+	ss, err := ode.Solve(ode.Params{
+		Lambda: p.Lambda, Mu: p.Mu, Gamma: p.Gamma, S: p.S, B: p.B,
+		// A minimal W keeps the (unused) segment solves cheap.
+		W: maxInt(p.S, 1), C: 0,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	return ss.Rho, ss.Rho - p.Lambda/p.Gamma, nil
+}
+
+// ThroughputNonCoding evaluates Theorem 2's closed form for s = 1 and
+// returns the normalized session throughput 1 − 1/θ₊. It requires c < μ
+// (the theorem's assumption) only for interpretability; the formula itself
+// is evaluated as stated.
+func ThroughputNonCoding(lambda, mu, gamma, c float64) (float64, error) {
+	if lambda <= 0 || mu < 0 || gamma <= 0 || c < 0 {
+		return 0, fmt.Errorf("analysis: invalid rates λ=%v μ=%v γ=%v c=%v", lambda, mu, gamma, c)
+	}
+	if c == 0 {
+		return 0, nil
+	}
+	// Theorem 1's fixed point for s = 1: ρ = (1−e^{-ρ})μ/γ + λ/γ.
+	rho := lambda / gamma
+	for i := 0; i < 200; i++ {
+		rho = (1-math.Exp(-rho))*mu/gamma + lambda/gamma
+	}
+	q := 1 - lambda/(rho*gamma)
+	a2 := -gamma
+	a1 := q*gamma + gamma + c/rho
+	a0 := -q * gamma
+	disc := a1*a1 - 4*a2*a0
+	if disc < 0 {
+		return 0, errors.New("analysis: complex roots in Theorem 2 quadratic")
+	}
+	// With a2 < 0 the larger root is (−a1 + √disc)/(2a2) ... both roots are
+	// real; take the maximum explicitly.
+	r1 := (-a1 + math.Sqrt(disc)) / (2 * a2)
+	r2 := (-a1 - math.Sqrt(disc)) / (2 * a2)
+	thetaPlus := math.Max(r1, r2)
+	if thetaPlus <= 0 {
+		return 0, errors.New("analysis: non-positive θ₊ in Theorem 2")
+	}
+	return 1 - 1/thetaPlus, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"p2pcollect/internal/ode"
+)
+
+func TestOverheadTheorem1(t *testing.T) {
+	p := ode.Params{Lambda: 20, Mu: 10, Gamma: 1, S: 1}
+	rho, overhead, err := OverheadOnly(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// z0 ≈ e^{-30} ≈ 0 here, so ρ ≈ μ/γ + λ/γ = 30.
+	if math.Abs(rho-30) > 1e-3 {
+		t.Errorf("rho = %v, want ~30", rho)
+	}
+	if math.Abs(overhead-10) > 1e-3 {
+		t.Errorf("overhead = %v, want ~10", overhead)
+	}
+	if overhead > p.Mu/p.Gamma {
+		t.Errorf("overhead %v above μ/γ bound", overhead)
+	}
+}
+
+func TestClosedFormMatchesMSystemForS1(t *testing.T) {
+	// Theorem 2's explicit s=1 solution must agree with the numerically
+	// solved collection-matrix system.
+	tests := []struct {
+		lambda, mu, c float64
+	}{
+		{20, 10, 4},
+		{20, 10, 8},
+		{8, 6, 2},
+		{8, 6, 5},
+	}
+	for _, tt := range tests {
+		closed, err := ThroughputNonCoding(tt.lambda, tt.mu, 1, tt.c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := Compute(ode.Params{Lambda: tt.lambda, Mu: tt.mu, Gamma: 1, C: tt.c, S: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(closed-m.NormalizedThroughput) / closed; rel > 0.02 {
+			t.Errorf("λ=%v μ=%v c=%v: closed form %v, m-system %v (rel %v)",
+				tt.lambda, tt.mu, tt.c, closed, m.NormalizedThroughput, rel)
+		}
+	}
+}
+
+func TestThroughputIncreasesWithSegmentSize(t *testing.T) {
+	// Fig. 3's shape: throughput grows with s toward the capacity line.
+	var prev float64
+	for _, s := range []int{1, 2, 5, 10, 20, 40} {
+		m, err := Compute(ode.Params{Lambda: 20, Mu: 10, Gamma: 1, C: 4, S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NormalizedThroughput < prev-1e-6 {
+			t.Errorf("throughput decreased at s=%d: %v < %v", s, m.NormalizedThroughput, prev)
+		}
+		if m.NormalizedThroughput > m.Capacity+1e-9 {
+			t.Errorf("s=%d: throughput %v above capacity %v", s, m.NormalizedThroughput, m.Capacity)
+		}
+		prev = m.NormalizedThroughput
+	}
+	// By s=40 it must be most of the way to capacity.
+	if prev < 0.9*0.2 {
+		t.Errorf("throughput %v at s=40 not close to capacity 0.2", prev)
+	}
+}
+
+func TestHarderToReachCapacityAtHigherC(t *testing.T) {
+	// The paper: "it is harder for the throughput to approach its capacity
+	// as c increases."
+	ratio := func(c float64) float64 {
+		m, err := Compute(ode.Params{Lambda: 20, Mu: 10, Gamma: 1, C: c, S: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m.NormalizedThroughput / m.Capacity
+	}
+	if r4, r16 := ratio(4), ratio(16); r16 >= r4 {
+		t.Errorf("capacity fraction at c=16 (%v) not below c=4 (%v)", r16, r4)
+	}
+}
+
+func TestDelayPeaksAtSmallS(t *testing.T) {
+	// Fig. 5: the block delay peaks at a small segment size and falls again
+	// for larger s. Theorem 3's estimator is biased negative at s=1 (see
+	// the BlockDelay doc comment), so the positivity check starts at s=2.
+	delays := make(map[int]float64)
+	for _, s := range []int{1, 2, 5, 40} {
+		m, err := Compute(ode.Params{Lambda: 20, Mu: 10, Gamma: 1, C: 8, S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s >= 2 && m.BlockDelay <= 0 {
+			t.Fatalf("s=%d: non-positive delay %v", s, m.BlockDelay)
+		}
+		delays[s] = m.BlockDelay
+	}
+	if delays[5] <= delays[1] {
+		t.Errorf("delay at s=5 (%v) not above s=1 (%v)", delays[5], delays[1])
+	}
+	if delays[40] >= delays[5] {
+		t.Errorf("delay at s=40 (%v) not below peak region s=5 (%v)", delays[40], delays[5])
+	}
+}
+
+func TestSavedDataDecreasesWithS(t *testing.T) {
+	// Fig. 6: with fixed capacity, larger segments raise throughput, so
+	// fewer undelivered blocks remain buffered.
+	m5, err := Compute(ode.Params{Lambda: 20, Mu: 10, Gamma: 1, C: 8, S: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m40, err := Compute(ode.Params{Lambda: 20, Mu: 10, Gamma: 1, C: 8, S: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m5.SavedPerPeer <= 0 || m40.SavedPerPeer <= 0 {
+		t.Fatalf("non-positive saved data: %v, %v", m5.SavedPerPeer, m40.SavedPerPeer)
+	}
+	if m40.SavedPerPeer >= m5.SavedPerPeer {
+		t.Errorf("saved data did not decrease with s: s=5 %v, s=40 %v", m5.SavedPerPeer, m40.SavedPerPeer)
+	}
+}
+
+func TestZeroCapacityMetrics(t *testing.T) {
+	m, err := Compute(ode.Params{Lambda: 8, Mu: 6, Gamma: 1, C: 0, S: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NormalizedThroughput != 0 || m.Efficiency != 0 {
+		t.Errorf("throughput/efficiency nonzero with c=0: %v, %v", m.NormalizedThroughput, m.Efficiency)
+	}
+	if m.Overhead <= 0 {
+		t.Errorf("overhead = %v", m.Overhead)
+	}
+}
+
+func TestThroughputNonCodingValidation(t *testing.T) {
+	if _, err := ThroughputNonCoding(0, 10, 1, 4); err == nil {
+		t.Error("zero lambda accepted")
+	}
+	if _, err := ThroughputNonCoding(20, 10, 0, 4); err == nil {
+		t.Error("zero gamma accepted")
+	}
+	got, err := ThroughputNonCoding(20, 10, 1, 0)
+	if err != nil || got != 0 {
+		t.Errorf("c=0: got %v, %v", got, err)
+	}
+}
+
+func TestEfficiencyWithinUnitInterval(t *testing.T) {
+	for _, s := range []int{1, 3, 10} {
+		for _, c := range []float64{1, 4, 12} {
+			m, err := Compute(ode.Params{Lambda: 10, Mu: 8, Gamma: 1, C: c, S: s})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.Efficiency < 0 || m.Efficiency > 1 {
+				t.Errorf("s=%d c=%v: efficiency %v outside [0,1]", s, c, m.Efficiency)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package des implements a minimal discrete-event simulation kernel: a
+// simulated clock, a pending-event heap with stable FIFO ordering for
+// simultaneous events, and cancellable timers.
+//
+// The kernel is deliberately small; the domain logic (gossip, pulls, TTL,
+// churn) lives in package sim and schedules plain callbacks here.
+package des
+
+import "container/heap"
+
+// Event is a scheduled callback. It is returned by the scheduling methods so
+// callers can cancel it before it fires.
+type Event struct {
+	time      float64
+	seq       uint64
+	index     int // heap index, -1 once removed
+	cancelled bool
+	fn        func()
+}
+
+// Time returns the simulated time at which the event fires (or fired).
+func (e *Event) Time() float64 { return e.time }
+
+// Cancel prevents the event's callback from running. Cancelling an event
+// that already fired or was already cancelled is a no-op. Cancelled events
+// are removed lazily when they surface at the top of the heap.
+func (e *Event) Cancel() { e.cancelled = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Sim is a discrete-event simulator. The zero value is ready to use and
+// starts at time 0.
+type Sim struct {
+	now    float64
+	seq    uint64
+	queue  eventQueue
+	nRun   uint64
+	halted bool
+}
+
+// New returns a simulator with its clock at zero.
+func New() *Sim { return &Sim{} }
+
+// Now returns the current simulated time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Processed returns the number of events executed so far.
+func (s *Sim) Processed() uint64 { return s.nRun }
+
+// Pending returns the number of events in the queue, including events that
+// were cancelled but not yet discarded.
+func (s *Sim) Pending() int { return len(s.queue) }
+
+// At schedules fn at absolute simulated time t. Scheduling in the past
+// (t < Now) panics: it indicates a logic error in the model.
+func (s *Sim) At(t float64, fn func()) *Event {
+	if t < s.now {
+		panic("des: scheduling into the past")
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn after a delay d from the current time.
+func (s *Sim) After(d float64, fn func()) *Event {
+	if d < 0 {
+		panic("des: negative delay")
+	}
+	return s.At(s.now+d, fn)
+}
+
+// Step executes the next event, advancing the clock. It returns false when
+// the queue is empty.
+func (s *Sim) Step() bool {
+	for len(s.queue) > 0 {
+		e, ok := heap.Pop(&s.queue).(*Event)
+		if !ok {
+			panic("des: corrupt queue")
+		}
+		if e.cancelled {
+			continue
+		}
+		s.now = e.time
+		s.nRun++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events until the clock would pass the horizon or the
+// queue empties or Halt is called. The clock ends at min(horizon, last event
+// time); events scheduled beyond the horizon remain queued.
+func (s *Sim) RunUntil(horizon float64) {
+	s.halted = false
+	for len(s.queue) > 0 && !s.halted {
+		e := s.queue[0]
+		if e.cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		if e.time > horizon {
+			break
+		}
+		heap.Pop(&s.queue)
+		s.now = e.time
+		s.nRun++
+		e.fn()
+	}
+	if s.now < horizon {
+		s.now = horizon
+	}
+}
+
+// Run executes every queued event. Use only with models that stop
+// generating events; recurrent processes must use RunUntil.
+func (s *Sim) Run() {
+	s.halted = false
+	for !s.halted && s.Step() {
+	}
+}
+
+// Halt stops RunUntil/Run after the currently executing event returns.
+func (s *Sim) Halt() { s.halted = true }
+
+// eventQueue is a min-heap ordered by (time, seq) so that simultaneous
+// events run in scheduling order.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e, ok := x.(*Event)
+	if !ok {
+		panic("des: pushing non-event")
+	}
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,206 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	s := New()
+	var got []float64
+	times := []float64{5, 1, 3, 2, 4}
+	for _, ti := range times {
+		ti := ti
+		s.At(ti, func() { got = append(got, ti) })
+	}
+	s.Run()
+	if !sort.Float64sAreSorted(got) {
+		t.Errorf("events out of order: %v", got)
+	}
+	if len(got) != len(times) {
+		t.Errorf("ran %d events, want %d", len(got), len(times))
+	}
+	if s.Now() != 5 {
+		t.Errorf("Now = %v, want 5", s.Now())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(1, func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	s := New()
+	var at float64
+	s.At(2, func() {
+		s.After(3, func() { at = s.Now() })
+	})
+	s.Run()
+	if at != 5 {
+		t.Errorf("After fired at %v, want 5", at)
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(1, func() { fired = true })
+	e.Cancel()
+	if !e.Cancelled() {
+		t.Error("Cancelled() = false after Cancel")
+	}
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestCancelFromEarlierEvent(t *testing.T) {
+	s := New()
+	fired := false
+	late := s.At(5, func() { fired = true })
+	s.At(1, func() { late.Cancel() })
+	s.Run()
+	if fired {
+		t.Error("event cancelled mid-run still fired")
+	}
+}
+
+func TestRunUntilHorizon(t *testing.T) {
+	s := New()
+	var count int
+	for i := 1; i <= 10; i++ {
+		s.At(float64(i), func() { count++ })
+	}
+	s.RunUntil(5.5)
+	if count != 5 {
+		t.Errorf("ran %d events before horizon, want 5", count)
+	}
+	if s.Now() != 5.5 {
+		t.Errorf("Now = %v, want 5.5", s.Now())
+	}
+	s.RunUntil(100)
+	if count != 10 {
+		t.Errorf("ran %d events total, want 10", count)
+	}
+}
+
+func TestRunUntilAdvancesClockWithEmptyQueue(t *testing.T) {
+	s := New()
+	s.RunUntil(7)
+	if s.Now() != 7 {
+		t.Errorf("Now = %v, want 7", s.Now())
+	}
+}
+
+func TestRecurrentProcess(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		s.After(1, tick)
+	}
+	s.After(1, tick)
+	s.RunUntil(10.5)
+	if count != 10 {
+		t.Errorf("recurrent process ticked %d times, want 10", count)
+	}
+}
+
+func TestHalt(t *testing.T) {
+	s := New()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count == 3 {
+			s.Halt()
+		}
+		s.After(1, tick)
+	}
+	s.After(1, tick)
+	s.RunUntil(100)
+	if count != 3 {
+		t.Errorf("Halt did not stop the run: %d events", count)
+	}
+}
+
+func TestSchedulingIntoPastPanics(t *testing.T) {
+	s := New()
+	s.At(5, func() {})
+	s.Run()
+	defer func() {
+		if recover() == nil {
+			t.Error("At(past) did not panic")
+		}
+	}()
+	s.At(1, func() {})
+}
+
+func TestNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("After(-1) did not panic")
+		}
+	}()
+	New().After(-1, func() {})
+}
+
+func TestProcessedAndPending(t *testing.T) {
+	s := New()
+	s.At(1, func() {})
+	s.At(2, func() {})
+	if s.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", s.Pending())
+	}
+	s.Step()
+	if s.Processed() != 1 {
+		t.Errorf("Processed = %d, want 1", s.Processed())
+	}
+}
+
+func TestHeapStress(t *testing.T) {
+	s := New()
+	rng := rand.New(rand.NewSource(1))
+	var last float64
+	ok := true
+	for i := 0; i < 5000; i++ {
+		s.At(rng.Float64()*100, func() {
+			if s.Now() < last {
+				ok = false
+			}
+			last = s.Now()
+		})
+	}
+	s.Run()
+	if !ok {
+		t.Error("clock moved backwards during stress run")
+	}
+	if s.Processed() != 5000 {
+		t.Errorf("Processed = %d, want 5000", s.Processed())
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < b.N; i++ {
+		s := New()
+		for j := 0; j < 1000; j++ {
+			s.At(rng.Float64()*1000, func() {})
+		}
+		s.Run()
+	}
+}

@@ -1,0 +1,162 @@
+// Package gf256 implements arithmetic in the Galois field GF(2^8).
+//
+// The field is constructed as GF(2)[x]/(x^8 + x^4 + x^3 + x^2 + 1), the
+// polynomial 0x11d used by most network-coding and Reed-Solomon
+// implementations. Addition is XOR; multiplication is carried out through
+// logarithm/antilogarithm tables built over the generator element 2.
+//
+// The package also provides the vector kernels used by the coding hot path:
+// in-place multiply, multiply-accumulate, and dot products over byte slices.
+package gf256
+
+// Polynomial is the irreducible reduction polynomial of the field,
+// x^8 + x^4 + x^3 + x^2 + 1.
+const Polynomial = 0x11d
+
+// Order is the number of elements in the field.
+const Order = 256
+
+// generator is a primitive element of the multiplicative group.
+const generator = 2
+
+var (
+	_exp [510]byte // _exp[i] = generator^i, doubled to avoid a mod 255
+	_log [256]byte // _log[x] = discrete log of x; _log[0] is unused
+
+	// _mul[k] is the full multiplication row for coefficient k. The 64 KiB
+	// table turns the slice kernels into one branch-free lookup per byte,
+	// which is the gossip/decode hot path.
+	_mul [256][256]byte
+)
+
+// The tables are deterministic compile-time-style data; building them in a
+// package-level initializer keeps them const-like without shipping 66 KiB
+// of opaque literals.
+var _ = buildTables()
+
+func buildTables() struct{} {
+	x := 1
+	for i := 0; i < 255; i++ {
+		_exp[i] = byte(x)
+		_exp[i+255] = byte(x)
+		_log[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= Polynomial
+		}
+	}
+	for a := 1; a < 256; a++ {
+		la := int(_log[a])
+		row := &_mul[a]
+		for b := 1; b < 256; b++ {
+			row[b] = _exp[la+int(_log[b])]
+		}
+	}
+	return struct{}{}
+}
+
+// Add returns a + b in GF(2^8). Addition and subtraction coincide.
+func Add(a, b byte) byte { return a ^ b }
+
+// Sub returns a - b in GF(2^8); identical to Add.
+func Sub(a, b byte) byte { return a ^ b }
+
+// Mul returns a * b in GF(2^8).
+func Mul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return _exp[int(_log[a])+int(_log[b])]
+}
+
+// Div returns a / b in GF(2^8). Division by zero panics, mirroring the
+// behaviour of integer division: it is a programming error, not a runtime
+// condition callers are expected to handle.
+func Div(a, b byte) byte {
+	if b == 0 {
+		panic("gf256: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	return _exp[int(_log[a])+255-int(_log[b])]
+}
+
+// Inv returns the multiplicative inverse of a. Inverting zero panics.
+func Inv(a byte) byte {
+	if a == 0 {
+		panic("gf256: inverse of zero")
+	}
+	return _exp[255-int(_log[a])]
+}
+
+// Exp returns generator^n for n >= 0.
+func Exp(n int) byte {
+	return _exp[n%255]
+}
+
+// Pow returns a^n in GF(2^8) with a^0 = 1 (including 0^0 = 1).
+func Pow(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	return _exp[(int(_log[a])*n)%255]
+}
+
+// MulSlice multiplies every element of dst by k in place.
+func MulSlice(k byte, dst []byte) {
+	if k == 0 {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return
+	}
+	if k == 1 {
+		return
+	}
+	row := &_mul[k]
+	for i, v := range dst {
+		dst[i] = row[v]
+	}
+}
+
+// AddMulSlice computes dst[i] += k * src[i] for every index. The slices must
+// have equal length; mismatched lengths panic via the bounds check.
+func AddMulSlice(dst []byte, k byte, src []byte) {
+	if k == 0 {
+		return
+	}
+	_ = dst[len(src)-1] // hoist the bounds check out of the loop
+	if k == 1 {
+		for i, v := range src {
+			dst[i] ^= v
+		}
+		return
+	}
+	row := &_mul[k]
+	for i, v := range src {
+		dst[i] ^= row[v]
+	}
+}
+
+// AddSlice computes dst[i] += src[i] for every index.
+func AddSlice(dst, src []byte) {
+	_ = dst[len(src)-1]
+	for i, v := range src {
+		dst[i] ^= v
+	}
+}
+
+// Dot returns the inner product of a and b. The slices must have equal
+// length.
+func Dot(a, b []byte) byte {
+	_ = a[len(b)-1]
+	var acc byte
+	for i, v := range b {
+		acc ^= Mul(a[i], v)
+	}
+	return acc
+}

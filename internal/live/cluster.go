@@ -1,0 +1,121 @@
+package live
+
+import (
+	"fmt"
+
+	"p2pcollect/internal/randx"
+	"p2pcollect/internal/rlnc"
+	"p2pcollect/internal/topology"
+	"p2pcollect/internal/transport"
+)
+
+// ClusterConfig describes an in-process deployment: N peers on a random
+// k-neighbor overlay plus a set of logging servers, all connected through
+// one in-memory network.
+type ClusterConfig struct {
+	// Peers is the number of nodes.
+	Peers int
+	// Servers is the number of logging servers.
+	Servers int
+	// Degree is the overlay parameter k (each peer links to k random
+	// partners).
+	Degree int
+	// Node is the template configuration; Neighbors and Seed are filled per
+	// node.
+	Node NodeConfig
+	// PullRate is each server's c_s in pulls/second.
+	PullRate float64
+	// OnSegment observes every segment reconstructed by any server.
+	OnSegment func(id rlnc.SegmentID, blocks [][]byte)
+	// Seed makes the deployment reproducible.
+	Seed int64
+}
+
+// Cluster is a running in-process deployment.
+type Cluster struct {
+	Network *transport.Network
+	Nodes   []*Node
+	Servers []*Server
+}
+
+// serverIDBase offsets server IDs above any peer ID.
+const serverIDBase = 1 << 32
+
+// StartCluster builds and starts the whole deployment. On error, anything
+// already started is stopped.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Peers < 2 {
+		return nil, fmt.Errorf("live: cluster needs at least 2 peers, got %d", cfg.Peers)
+	}
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("live: cluster needs at least 1 server")
+	}
+	rng := randx.New(cfg.Seed)
+	graph, err := topology.RandomKNeighbor(cfg.Peers, cfg.Degree, rng)
+	if err != nil {
+		return nil, err
+	}
+	c := &Cluster{Network: transport.NewNetwork()}
+	fail := func(err error) (*Cluster, error) {
+		c.Stop()
+		return nil, err
+	}
+	for i := 0; i < cfg.Peers; i++ {
+		nodeCfg := cfg.Node
+		for _, nb := range graph.Neighbors(i) {
+			nodeCfg.Neighbors = append(nodeCfg.Neighbors, transport.NodeID(nb+1))
+		}
+		nodeCfg.Seed = rng.Int63()
+		node, err := NewNode(c.Network.Join(transport.NodeID(i+1)), nodeCfg)
+		if err != nil {
+			return fail(err)
+		}
+		c.Nodes = append(c.Nodes, node)
+	}
+	peerIDs := make([]transport.NodeID, cfg.Peers)
+	for i := range peerIDs {
+		peerIDs[i] = transport.NodeID(i + 1)
+	}
+	for j := 0; j < cfg.Servers; j++ {
+		srv, err := NewServer(c.Network.Join(transport.NodeID(serverIDBase+j)), ServerConfig{
+			PullRate: cfg.PullRate,
+			Peers:    peerIDs,
+			Seed:     rng.Int63(),
+		})
+		if err != nil {
+			return fail(err)
+		}
+		srv.OnSegment = cfg.OnSegment
+		c.Servers = append(c.Servers, srv)
+	}
+	for _, n := range c.Nodes {
+		if err := n.Start(); err != nil {
+			return fail(err)
+		}
+	}
+	for _, s := range c.Servers {
+		if err := s.Start(); err != nil {
+			return fail(err)
+		}
+	}
+	return c, nil
+}
+
+// Stop shuts every server and node down.
+func (c *Cluster) Stop() {
+	for _, s := range c.Servers {
+		s.Stop()
+	}
+	for _, n := range c.Nodes {
+		n.Stop()
+	}
+}
+
+// TotalDecoded sums decoded segments across servers.
+func (c *Cluster) TotalDecoded() int64 {
+	var total int64
+	for _, s := range c.Servers {
+		total += s.Stats().DecodedSegments
+	}
+	return total
+}

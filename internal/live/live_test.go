@@ -1,0 +1,431 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"p2pcollect/internal/logdata"
+	"p2pcollect/internal/rlnc"
+	"p2pcollect/internal/transport"
+)
+
+// fastNodeConfig uses aggressive per-second rates so tests complete in a
+// couple of wall-clock seconds.
+func fastNodeConfig() NodeConfig {
+	return NodeConfig{
+		SegmentSize: 4,
+		BlockSize:   logdata.RecordSize,
+		Lambda:      40,
+		Mu:          60,
+		Gamma:       2,
+		BufferCap:   256,
+	}
+}
+
+func TestNodeConfigValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*NodeConfig)
+	}{
+		{"zero segment", func(c *NodeConfig) { c.SegmentSize = 0 }},
+		{"zero block size", func(c *NodeConfig) { c.BlockSize = 0 }},
+		{"negative mu", func(c *NodeConfig) { c.Mu = -1 }},
+		{"zero gamma", func(c *NodeConfig) { c.Gamma = 0 }},
+		{"buffer below segment", func(c *NodeConfig) { c.BufferCap = 2 }},
+	}
+	net := transport.NewNetwork()
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := fastNodeConfig()
+			tt.mutate(&cfg)
+			if _, err := NewNode(net.Join(1), cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	net := transport.NewNetwork()
+	if _, err := NewServer(net.Join(1), ServerConfig{PullRate: 1}); err == nil {
+		t.Error("server with no peers accepted")
+	}
+	if _, err := NewServer(net.Join(1), ServerConfig{PullRate: -1, Peers: []transport.NodeID{2}}); err == nil {
+		t.Error("negative pull rate accepted")
+	}
+}
+
+func TestNodeStartStopIdempotent(t *testing.T) {
+	net := transport.NewNetwork()
+	n, err := NewNode(net.Join(1), fastNodeConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(); err == nil {
+		t.Error("double start accepted")
+	}
+	n.Stop()
+	n.Stop() // must not panic or hang
+}
+
+func TestEndToEndCollection(t *testing.T) {
+	// 12 peers, 2 servers, in-memory fabric: the servers must reconstruct
+	// real statistics records end to end.
+	var mu sync.Mutex
+	type decoded struct {
+		id     rlnc.SegmentID
+		blocks [][]byte
+	}
+	var got []decoded
+	cluster, err := StartCluster(ClusterConfig{
+		Peers:    12,
+		Servers:  2,
+		Degree:   3,
+		Node:     fastNodeConfig(),
+		PullRate: 120,
+		Seed:     1,
+		OnSegment: func(id rlnc.SegmentID, blocks [][]byte) {
+			mu.Lock()
+			got = append(got, decoded{id: id, blocks: blocks})
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Stop()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n >= 3 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) < 3 {
+		t.Fatalf("decoded %d segments, want >= 3", len(got))
+	}
+	for _, d := range got {
+		if len(d.blocks) != 4 {
+			t.Fatalf("segment %v decoded into %d blocks", d.id, len(d.blocks))
+		}
+		for _, block := range d.blocks {
+			records, err := logdata.UnpackRecords(block)
+			if err != nil {
+				t.Fatalf("segment %v: corrupt records: %v", d.id, err)
+			}
+			if len(records) != 1 {
+				t.Fatalf("segment %v: %d records per block, want 1", d.id, len(records))
+			}
+			if records[0].PeerID != d.id.Origin {
+				t.Errorf("segment %v: record claims peer %d", d.id, records[0].PeerID)
+			}
+		}
+	}
+}
+
+func TestSegmentCompleteSuppressesGossip(t *testing.T) {
+	// Two nodes: B already full for a segment announces completion; A must
+	// stop targeting B for it. We verify the bookkeeping directly.
+	net := transport.NewNetwork()
+	cfg := fastNodeConfig()
+	cfg.Lambda = 0 // manual injection only
+	cfg.Neighbors = []transport.NodeID{2}
+	a, err := NewNode(net.Join(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+
+	seg := rlnc.SegmentID{Origin: 9, Seq: 1}
+	bTransport := net.Join(2)
+	bTransport.Send(1, &transport.Message{Type: transport.MsgSegmentComplete, Seg: seg})
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		a.mu.Lock()
+		full := a.fullAt[seg][2]
+		a.mu.Unlock()
+		if full {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("segment-complete notice never registered")
+}
+
+func TestPullAgainstEmptyNode(t *testing.T) {
+	net := transport.NewNetwork()
+	cfg := fastNodeConfig()
+	cfg.Lambda = 0
+	node, err := NewNode(net.Join(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+
+	probe := net.Join(77)
+	probe.Send(1, &transport.Message{Type: transport.MsgPullRequest})
+	select {
+	case m := <-probe.Receive():
+		if m.Type != transport.MsgEmpty {
+			t.Errorf("reply = %v, want MsgEmpty", m.Type)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reply to pull")
+	}
+}
+
+func TestTTLExpiryDrainsBuffer(t *testing.T) {
+	net := transport.NewNetwork()
+	cfg := fastNodeConfig()
+	cfg.Lambda = 200 // burst of segments
+	cfg.Mu = 0       // no gossip out
+	cfg.Gamma = 20   // 50ms mean TTL
+	node, err := NewNode(net.Join(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if node.Stats().InjectedBlocks == 0 {
+		node.Stop()
+		t.Fatal("nothing injected")
+	}
+	node.Stop()
+	stats := node.Stats()
+	if stats.BlocksExpired == 0 {
+		t.Error("no TTL expiries despite 50ms mean TTL")
+	}
+}
+
+func TestClusterOverTCP(t *testing.T) {
+	// A miniature real-network deployment: 4 peers + 1 server over
+	// localhost TCP.
+	const peers = 4
+	addrs := make(map[transport.NodeID]string, peers+1)
+	trs := make([]*transport.TCPTransport, 0, peers+1)
+	for i := 1; i <= peers+1; i++ {
+		tr, err := transport.ListenTCP(transport.NodeID(i), "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[transport.NodeID(i)] = tr.Addr()
+		trs = append(trs, tr)
+	}
+	for _, tr := range trs {
+		for id, addr := range addrs {
+			if id != tr.LocalID() {
+				tr.AddRoute(id, addr)
+			}
+		}
+	}
+	var nodes []*Node
+	for i := 0; i < peers; i++ {
+		cfg := fastNodeConfig()
+		for j := 1; j <= peers; j++ {
+			if transport.NodeID(j) != trs[i].LocalID() {
+				cfg.Neighbors = append(cfg.Neighbors, transport.NodeID(j))
+			}
+		}
+		cfg.Seed = int64(i + 1)
+		n, err := NewNode(trs[i], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	srv, err := NewServer(trs[peers], ServerConfig{
+		PullRate: 150,
+		Peers:    []transport.NodeID{1, 2, 3, 4},
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	decoded := 0
+	srv.OnSegment = func(id rlnc.SegmentID, blocks [][]byte) {
+		mu.Lock()
+		decoded++
+		mu.Unlock()
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Stop()
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := decoded
+		mu.Unlock()
+		if n >= 2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("decoded %d segments over TCP, want >= 2 (server stats: %+v)", decoded, srv.Stats())
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := StartCluster(ClusterConfig{Peers: 1, Servers: 1, Degree: 1, Node: fastNodeConfig(), PullRate: 1}); err == nil {
+		t.Error("1-peer cluster accepted")
+	}
+	if _, err := StartCluster(ClusterConfig{Peers: 4, Servers: 0, Degree: 1, Node: fastNodeConfig(), PullRate: 1}); err == nil {
+		t.Error("serverless cluster accepted")
+	}
+	if _, err := StartCluster(ClusterConfig{Peers: 4, Servers: 1, Degree: 9, Node: fastNodeConfig(), PullRate: 1}); err == nil {
+		t.Error("infeasible degree accepted")
+	}
+}
+
+func TestNodeGarbageCollectsStaleNotices(t *testing.T) {
+	net := transport.NewNetwork()
+	cfg := fastNodeConfig()
+	cfg.Lambda = 0
+	node, err := NewNode(net.Join(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer node.Stop()
+	probe := net.Join(2)
+	// Notices for segments the node never buffers must not accumulate.
+	for i := 0; i < 50; i++ {
+		probe.Send(1, &transport.Message{
+			Type: transport.MsgSegmentComplete,
+			Seg:  rlnc.SegmentID{Origin: 9, Seq: uint64(i)},
+		})
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		node.mu.Lock()
+		pending := len(node.fullAt)
+		node.mu.Unlock()
+		if pending == 0 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	node.mu.Lock()
+	defer node.mu.Unlock()
+	t.Fatalf("stale notices never reaped: %d entries", len(node.fullAt))
+}
+
+func TestServerFinishedSetBounded(t *testing.T) {
+	net := transport.NewNetwork()
+	srv, err := NewServer(net.Join(1), ServerConfig{
+		PullRate:    0,
+		Peers:       []transport.NodeID{2},
+		FinishedCap: 4,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.mu.Lock()
+	for i := 0; i < 10; i++ {
+		srv.markFinished(rlnc.SegmentID{Origin: 1, Seq: uint64(i)})
+	}
+	size := len(srv.finished)
+	oldestGone := !srv.finished[rlnc.SegmentID{Origin: 1, Seq: 0}]
+	newestKept := srv.finished[rlnc.SegmentID{Origin: 1, Seq: 9}]
+	srv.mu.Unlock()
+	if size != 4 {
+		t.Errorf("finished set size = %d, want 4", size)
+	}
+	if !oldestGone || !newestKept {
+		t.Errorf("eviction order wrong: oldestGone=%v newestKept=%v", oldestGone, newestKept)
+	}
+}
+
+func TestServerNegativeFinishedCapRejected(t *testing.T) {
+	net := transport.NewNetwork()
+	if _, err := NewServer(net.Join(1), ServerConfig{PullRate: 1, Peers: []transport.NodeID{2}, FinishedCap: -1}); err == nil {
+		t.Error("negative FinishedCap accepted")
+	}
+}
+
+func TestPeerRestartRejoinsSession(t *testing.T) {
+	// Churn in a live deployment: a peer crashes and a replacement rejoins
+	// under the same ID (Network.Join hands out a fresh mailbox). The
+	// session must keep decoding afterwards.
+	net := transport.NewNetwork()
+	mk := func(id transport.NodeID, nbrs ...transport.NodeID) *Node {
+		cfg := fastNodeConfig()
+		cfg.Neighbors = nbrs
+		cfg.Seed = int64(id)
+		n, err := NewNode(net.Join(id), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	n1 := mk(1, 2, 3)
+	n2 := mk(2, 1, 3)
+	n3 := mk(3, 1, 2)
+	srv, err := NewServer(net.Join(9), ServerConfig{PullRate: 150, Peers: []transport.NodeID{1, 2, 3}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Stop()
+		n1.Stop()
+		n3.Stop()
+	}()
+
+	waitDecodes := func(target int64) bool {
+		deadline := time.Now().Add(15 * time.Second)
+		for time.Now().Before(deadline) {
+			if srv.Stats().DecodedSegments >= target {
+				return true
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+		return false
+	}
+	if !waitDecodes(2) {
+		t.Fatalf("no decodes before churn: %+v", srv.Stats())
+	}
+	// Crash peer 2 and bring up its replacement.
+	n2.Stop()
+	before := srv.Stats().DecodedSegments
+	replacement := mk(2, 1, 3)
+	defer replacement.Stop()
+	if !waitDecodes(before + 2) {
+		t.Fatalf("no decodes after restart: %+v", srv.Stats())
+	}
+}

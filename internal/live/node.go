@@ -1,0 +1,420 @@
+// Package live is the wall-clock implementation of the indirect collection
+// protocol: real nodes running goroutine loops for statistics generation,
+// RLNC gossip, TTL expiry, and server pulls, over any transport.Transport
+// (in-memory channels or TCP). It shares the coding substrate with the
+// discrete-event simulator but runs in real time and moves real payload
+// bytes, so a logging server actually reconstructs the statistics records.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2pcollect/internal/logdata"
+	"p2pcollect/internal/randx"
+	"p2pcollect/internal/rlnc"
+	"p2pcollect/internal/transport"
+)
+
+// reapInterval is how often expired blocks are swept. It bounds the TTL
+// granularity; TTLs in live deployments are seconds to minutes.
+const reapInterval = 20 * time.Millisecond
+
+// NodeConfig parameterizes one live peer. Rates are per second.
+type NodeConfig struct {
+	// SegmentSize is s, the coding generation size.
+	SegmentSize int
+	// BlockSize is the payload bytes per original block; it should be a
+	// multiple of logdata.RecordSize to carry whole records.
+	BlockSize int
+	// Lambda is the statistics generation rate in blocks/second.
+	Lambda float64
+	// Mu is the gossip rate in blocks/second.
+	Mu float64
+	// Gamma is the block expiry rate (TTL mean 1/Gamma seconds).
+	Gamma float64
+	// BufferCap bounds the number of buffered coded blocks.
+	BufferCap int
+	// Neighbors are the peers this node gossips to.
+	Neighbors []transport.NodeID
+	// Seed makes the node's randomness reproducible.
+	Seed int64
+}
+
+func (c NodeConfig) validate() error {
+	switch {
+	case c.SegmentSize < 1:
+		return fmt.Errorf("live: SegmentSize = %d", c.SegmentSize)
+	case c.BlockSize < 1:
+		return fmt.Errorf("live: BlockSize = %d", c.BlockSize)
+	case c.Lambda < 0 || c.Mu < 0:
+		return errors.New("live: negative rate")
+	case c.Gamma <= 0:
+		return errors.New("live: Gamma must be positive")
+	case c.BufferCap < c.SegmentSize:
+		return fmt.Errorf("live: BufferCap %d < SegmentSize %d", c.BufferCap, c.SegmentSize)
+	}
+	return nil
+}
+
+// NodeStats is a snapshot of a node's counters.
+type NodeStats struct {
+	InjectedSegments int64
+	InjectedBlocks   int64
+	GossipSent       int64
+	BlocksReceived   int64
+	BlocksStored     int64
+	BlocksExpired    int64
+	PullsServed      int64
+	BufferedBlocks   int
+	BufferedSegments int
+}
+
+// Node is one live peer. Create with NewNode, start with Start, stop with
+// Stop (which waits for all goroutines).
+type Node struct {
+	cfg NodeConfig
+	tr  transport.Transport
+
+	mu        sync.Mutex
+	rng       *randx.Rand
+	holdings  map[rlnc.SegmentID]*rlnc.Holding
+	segIDs    []rlnc.SegmentID
+	deadlines map[*rlnc.CodedBlock]time.Time
+	occupancy int
+	fullAt    map[rlnc.SegmentID]map[transport.NodeID]bool
+	gen       *logdata.Generator
+	seq       uint64
+	started   time.Time
+	stats     NodeStats
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	startMu sync.Mutex
+	running bool
+}
+
+// NewNode builds a peer over the given transport.
+func NewNode(tr transport.Transport, cfg NodeConfig) (*Node, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	rng := randx.New(cfg.Seed)
+	return &Node{
+		cfg:       cfg,
+		tr:        tr,
+		rng:       rng,
+		holdings:  make(map[rlnc.SegmentID]*rlnc.Holding),
+		deadlines: make(map[*rlnc.CodedBlock]time.Time),
+		fullAt:    make(map[rlnc.SegmentID]map[transport.NodeID]bool),
+		gen:       logdata.NewGenerator(uint64(tr.LocalID()), rng.Fork()),
+		stop:      make(chan struct{}),
+	}, nil
+}
+
+// ID returns the node's network identity.
+func (n *Node) ID() transport.NodeID { return n.tr.LocalID() }
+
+// Start launches the protocol loops. It is an error to start twice.
+func (n *Node) Start() error {
+	n.startMu.Lock()
+	defer n.startMu.Unlock()
+	if n.running {
+		return errors.New("live: node already running")
+	}
+	n.running = true
+	n.started = time.Now()
+	n.wg.Add(3)
+	go n.recvLoop()
+	go n.reapLoop()
+	go n.gossipLoop()
+	if n.cfg.Lambda > 0 {
+		n.wg.Add(1)
+		go n.injectLoop()
+	}
+	return nil
+}
+
+// Stop shuts the node down: closes the transport and waits for every loop
+// to exit. Safe to call more than once.
+func (n *Node) Stop() {
+	n.startMu.Lock()
+	defer n.startMu.Unlock()
+	if !n.running {
+		return
+	}
+	n.running = false
+	close(n.stop)
+	n.tr.Close()
+	n.wg.Wait()
+}
+
+// Stats returns a consistent snapshot of the node's counters.
+func (n *Node) Stats() NodeStats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.stats
+	s.BufferedBlocks = n.occupancy
+	s.BufferedSegments = len(n.segIDs)
+	return s
+}
+
+// expDelay samples an exponential inter-event time, clamped so a zero rate
+// parks the timer effectively forever.
+func (n *Node) expDelay(rate float64) time.Duration {
+	n.mu.Lock()
+	v := n.rng.Exp(rate)
+	n.mu.Unlock()
+	if v > 3600 {
+		v = 3600
+	}
+	return time.Duration(v * float64(time.Second))
+}
+
+func (n *Node) injectLoop() {
+	defer n.wg.Done()
+	rate := n.cfg.Lambda / float64(n.cfg.SegmentSize)
+	timer := time.NewTimer(n.expDelay(rate))
+	defer timer.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-timer.C:
+			n.inject()
+			timer.Reset(n.expDelay(rate))
+		}
+	}
+}
+
+// inject generates one segment of fresh statistics records and stores its
+// source blocks.
+func (n *Node) inject() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	s := n.cfg.SegmentSize
+	if n.occupancy > n.cfg.BufferCap-s {
+		return
+	}
+	perBlock := n.cfg.BlockSize / logdata.RecordSize
+	elapsed := time.Since(n.started).Seconds()
+	blocks := make([][]byte, s)
+	for i := range blocks {
+		block := make([]byte, n.cfg.BlockSize)
+		for j := 0; j < perBlock; j++ {
+			copy(block[j*logdata.RecordSize:], n.gen.Next(elapsed).Marshal())
+		}
+		if perBlock == 0 {
+			n.rng.FillCoefficients(block)
+		}
+		blocks[i] = block
+	}
+	segID := rlnc.SegmentID{Origin: uint64(n.ID()), Seq: n.seq}
+	n.seq++
+	seg, err := rlnc.NewSegment(segID, blocks)
+	if err != nil {
+		return // unreachable: blocks are uniform by construction
+	}
+	for i := 0; i < s; i++ {
+		n.storeLocked(seg.SourceBlock(i))
+	}
+	n.stats.InjectedSegments++
+	n.stats.InjectedBlocks += int64(s)
+}
+
+func (n *Node) gossipLoop() {
+	defer n.wg.Done()
+	timer := time.NewTimer(n.expDelay(n.cfg.Mu))
+	defer timer.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-timer.C:
+			if to, msg, ok := n.prepareGossip(); ok {
+				if err := n.tr.Send(to, msg); err == nil {
+					n.mu.Lock()
+					n.stats.GossipSent++
+					n.mu.Unlock()
+				}
+			}
+			timer.Reset(n.expDelay(n.cfg.Mu))
+		}
+	}
+}
+
+// prepareGossip picks a segment and an eligible neighbor and re-encodes one
+// block, all under the lock; sending happens outside it.
+func (n *Node) prepareGossip() (transport.NodeID, *transport.Message, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.segIDs) == 0 || len(n.cfg.Neighbors) == 0 {
+		return 0, nil, false
+	}
+	segID := n.segIDs[n.rng.Intn(len(n.segIDs))]
+	full := n.fullAt[segID]
+	candidates := make([]transport.NodeID, 0, len(n.cfg.Neighbors))
+	for _, nb := range n.cfg.Neighbors {
+		if !full[nb] {
+			candidates = append(candidates, nb)
+		}
+	}
+	if len(candidates) == 0 {
+		return 0, nil, false
+	}
+	to := candidates[n.rng.Intn(len(candidates))]
+	cb := n.holdings[segID].Recode(n.rng)
+	return to, &transport.Message{Type: transport.MsgBlock, Block: cb}, true
+}
+
+func (n *Node) reapLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(reapInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.reap()
+		}
+	}
+}
+
+// reap removes blocks whose TTL expired, and garbage-collects
+// segment-complete notices for segments this node no longer buffers (they
+// only influence gossip target choice, which is scoped to buffered
+// segments; keeping them would leak memory over a long run).
+func (n *Node) reap() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	now := time.Now()
+	for i := 0; i < len(n.segIDs); i++ {
+		segID := n.segIDs[i]
+		h := n.holdings[segID]
+		for _, cb := range append([]*rlnc.CodedBlock(nil), h.Blocks()...) {
+			if deadline, ok := n.deadlines[cb]; ok && now.After(deadline) {
+				h.RemoveBlock(cb)
+				delete(n.deadlines, cb)
+				n.occupancy--
+				n.stats.BlocksExpired++
+			}
+		}
+		if h.Len() == 0 {
+			n.dropHoldingLocked(i, segID)
+			i--
+		}
+	}
+	for segID := range n.fullAt {
+		if _, held := n.holdings[segID]; !held {
+			delete(n.fullAt, segID)
+		}
+	}
+}
+
+func (n *Node) recvLoop() {
+	defer n.wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case m, ok := <-n.tr.Receive():
+			if !ok {
+				return
+			}
+			n.handle(m)
+		}
+	}
+}
+
+func (n *Node) handle(m *transport.Message) {
+	switch m.Type {
+	case transport.MsgBlock:
+		n.receiveBlock(m)
+	case transport.MsgSegmentComplete:
+		n.mu.Lock()
+		if n.fullAt[m.Seg] == nil {
+			n.fullAt[m.Seg] = make(map[transport.NodeID]bool)
+		}
+		n.fullAt[m.Seg][m.From] = true
+		n.mu.Unlock()
+	case transport.MsgPullRequest:
+		n.servePull(m.From)
+	case transport.MsgEmpty:
+		// Peers ignore empties; they are server-bound.
+	}
+}
+
+// receiveBlock files a gossiped block and, when the holding just became
+// full, tells the neighbors to stop sending this segment.
+func (n *Node) receiveBlock(m *transport.Message) {
+	if m.Block == nil || m.Block.SegmentSize() != n.cfg.SegmentSize {
+		return
+	}
+	n.mu.Lock()
+	n.stats.BlocksReceived++
+	if n.occupancy >= n.cfg.BufferCap {
+		n.mu.Unlock()
+		return
+	}
+	stored := n.storeLocked(m.Block)
+	justFull := stored && n.holdings[m.Block.Seg].Full()
+	n.mu.Unlock()
+	if justFull {
+		notice := &transport.Message{Type: transport.MsgSegmentComplete, Seg: m.Block.Seg}
+		for _, nb := range n.cfg.Neighbors {
+			n.tr.Send(nb, notice) //nolint:errcheck // best-effort notice
+		}
+	}
+}
+
+// servePull answers a logging server: one re-encoded block of a uniformly
+// random buffered segment, or an empty notice.
+func (n *Node) servePull(from transport.NodeID) {
+	n.mu.Lock()
+	var reply *transport.Message
+	if len(n.segIDs) == 0 {
+		reply = &transport.Message{Type: transport.MsgEmpty}
+	} else {
+		segID := n.segIDs[n.rng.Intn(len(n.segIDs))]
+		reply = &transport.Message{
+			Type:  transport.MsgBlock,
+			Block: n.holdings[segID].Recode(n.rng),
+		}
+		n.stats.PullsServed++
+	}
+	n.mu.Unlock()
+	n.tr.Send(from, reply) //nolint:errcheck // best-effort reply
+}
+
+// storeLocked files cb if innovative, assigning it a TTL. Callers hold mu.
+func (n *Node) storeLocked(cb *rlnc.CodedBlock) bool {
+	h := n.holdings[cb.Seg]
+	if h == nil {
+		h = rlnc.NewHolding(cb.Seg, n.cfg.SegmentSize)
+		n.holdings[cb.Seg] = h
+		n.segIDs = append(n.segIDs, cb.Seg)
+	}
+	if !h.Add(cb) {
+		if h.Len() == 0 {
+			n.dropHoldingLocked(len(n.segIDs)-1, cb.Seg)
+		}
+		return false
+	}
+	ttl := n.rng.Exp(n.cfg.Gamma)
+	n.deadlines[cb] = time.Now().Add(time.Duration(ttl * float64(time.Second)))
+	n.occupancy++
+	n.stats.BlocksStored++
+	return true
+}
+
+// dropHoldingLocked removes the empty holding at index i of segIDs.
+func (n *Node) dropHoldingLocked(i int, segID rlnc.SegmentID) {
+	last := len(n.segIDs) - 1
+	n.segIDs[i] = n.segIDs[last]
+	n.segIDs = n.segIDs[:last]
+	delete(n.holdings, segID)
+	delete(n.fullAt, segID)
+}

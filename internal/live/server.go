@@ -1,0 +1,244 @@
+package live
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"p2pcollect/internal/randx"
+	"p2pcollect/internal/rlnc"
+	"p2pcollect/internal/transport"
+)
+
+// defaultFinishedCap bounds the server's memory of completed segments.
+const defaultFinishedCap = 1 << 16
+
+// ServerConfig parameterizes one live logging server.
+type ServerConfig struct {
+	// PullRate is c_s: pull requests issued per second.
+	PullRate float64
+	// Peers are the nodes this server probes, uniformly at random.
+	Peers []transport.NodeID
+	// FinishedCap bounds how many completed segment IDs the server
+	// remembers for redundancy suppression (oldest forgotten first; a
+	// forgotten segment would merely be decoded again). Zero selects a
+	// 65536-entry default.
+	FinishedCap int
+	// Seed makes the pull sequence reproducible.
+	Seed int64
+}
+
+func (c ServerConfig) validate() error {
+	switch {
+	case c.PullRate < 0:
+		return errors.New("live: negative pull rate")
+	case len(c.Peers) == 0:
+		return errors.New("live: server needs at least one peer")
+	case c.FinishedCap < 0:
+		return errors.New("live: negative FinishedCap")
+	}
+	return nil
+}
+
+// ServerStats is a snapshot of a server's counters.
+type ServerStats struct {
+	PullsSent       int64
+	BlocksReceived  int64
+	EmptyReplies    int64
+	RedundantBlocks int64
+	DecodedSegments int64
+	OpenDecoders    int
+}
+
+// Server is a live logging server running the coupon-collector pull loop
+// and progressively decoding segments. OnSegment, when set before Start,
+// receives every reconstructed segment's original blocks.
+type Server struct {
+	cfg ServerConfig
+	tr  transport.Transport
+
+	// OnSegment is invoked (from the receive loop) with the original blocks
+	// of each segment as soon as it decodes.
+	OnSegment func(id rlnc.SegmentID, blocks [][]byte)
+
+	mu           sync.Mutex
+	rng          *randx.Rand
+	decoders     map[rlnc.SegmentID]*rlnc.Decoder
+	finished     map[rlnc.SegmentID]bool
+	finishedFIFO []rlnc.SegmentID // eviction order for the finished set
+	stats        ServerStats
+
+	stop    chan struct{}
+	wg      sync.WaitGroup
+	startMu sync.Mutex
+	running bool
+}
+
+// NewServer builds a logging server over the given transport.
+func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FinishedCap == 0 {
+		cfg.FinishedCap = defaultFinishedCap
+	}
+	return &Server{
+		cfg:      cfg,
+		tr:       tr,
+		rng:      randx.New(cfg.Seed),
+		decoders: make(map[rlnc.SegmentID]*rlnc.Decoder),
+		finished: make(map[rlnc.SegmentID]bool),
+		stop:     make(chan struct{}),
+	}, nil
+}
+
+// ID returns the server's network identity.
+func (s *Server) ID() transport.NodeID { return s.tr.LocalID() }
+
+// Start launches the pull and receive loops.
+func (s *Server) Start() error {
+	s.startMu.Lock()
+	defer s.startMu.Unlock()
+	if s.running {
+		return errors.New("live: server already running")
+	}
+	s.running = true
+	s.wg.Add(1)
+	go s.recvLoop()
+	if s.cfg.PullRate > 0 {
+		s.wg.Add(1)
+		go s.pullLoop()
+	}
+	return nil
+}
+
+// Stop shuts the server down and waits for its loops.
+func (s *Server) Stop() {
+	s.startMu.Lock()
+	defer s.startMu.Unlock()
+	if !s.running {
+		return
+	}
+	s.running = false
+	close(s.stop)
+	s.tr.Close()
+	s.wg.Wait()
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() ServerStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.OpenDecoders = len(s.decoders)
+	return st
+}
+
+func (s *Server) pullLoop() {
+	defer s.wg.Done()
+	delay := func() time.Duration {
+		s.mu.Lock()
+		v := s.rng.Exp(s.cfg.PullRate)
+		s.mu.Unlock()
+		if v > 3600 {
+			v = 3600
+		}
+		return time.Duration(v * float64(time.Second))
+	}
+	timer := time.NewTimer(delay())
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-timer.C:
+			s.mu.Lock()
+			peer := s.cfg.Peers[s.rng.Intn(len(s.cfg.Peers))]
+			s.stats.PullsSent++
+			s.mu.Unlock()
+			s.tr.Send(peer, &transport.Message{Type: transport.MsgPullRequest}) //nolint:errcheck // best-effort
+			timer.Reset(delay())
+		}
+	}
+}
+
+func (s *Server) recvLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case m, ok := <-s.tr.Receive():
+			if !ok {
+				return
+			}
+			switch m.Type {
+			case transport.MsgBlock:
+				s.receiveBlock(m.Block)
+			case transport.MsgEmpty:
+				s.mu.Lock()
+				s.stats.EmptyReplies++
+				s.mu.Unlock()
+			default:
+				// Servers ignore peer-to-peer chatter.
+			}
+		}
+	}
+}
+
+// receiveBlock feeds a pulled block into the segment's decoder and fires
+// OnSegment at full rank.
+func (s *Server) receiveBlock(cb *rlnc.CodedBlock) {
+	if cb == nil {
+		return
+	}
+	s.mu.Lock()
+	s.stats.BlocksReceived++
+	if s.finished[cb.Seg] {
+		s.stats.RedundantBlocks++
+		s.mu.Unlock()
+		return
+	}
+	dec := s.decoders[cb.Seg]
+	if dec == nil {
+		dec = rlnc.NewDecoder(cb.Seg, cb.SegmentSize(), len(cb.Payload))
+		s.decoders[cb.Seg] = dec
+	}
+	innovative, err := dec.Add(cb)
+	if err != nil || !innovative {
+		s.stats.RedundantBlocks++
+		s.mu.Unlock()
+		return
+	}
+	if !dec.Complete() {
+		s.mu.Unlock()
+		return
+	}
+	blocks, err := dec.Decode()
+	s.markFinished(cb.Seg)
+	delete(s.decoders, cb.Seg)
+	s.stats.DecodedSegments++
+	cb2 := s.OnSegment
+	s.mu.Unlock()
+	if err == nil && cb2 != nil {
+		cb2(cb.Seg, blocks)
+	}
+}
+
+// markFinished records a completed segment, evicting the oldest entry when
+// the bounded memory is full. Callers hold mu.
+func (s *Server) markFinished(id rlnc.SegmentID) {
+	if len(s.finishedFIFO) >= s.cfg.FinishedCap {
+		oldest := s.finishedFIFO[0]
+		s.finishedFIFO = s.finishedFIFO[1:]
+		delete(s.finished, oldest)
+	}
+	s.finished[id] = true
+	s.finishedFIFO = append(s.finishedFIFO, id)
+}
+
+// String describes the server for logs.
+func (s *Server) String() string {
+	return fmt.Sprintf("live.Server(%d)", s.tr.LocalID())
+}

@@ -1,0 +1,101 @@
+package logdata
+
+import (
+	"math"
+	"testing"
+
+	"p2pcollect/internal/randx"
+)
+
+func TestAggregatorChannelReport(t *testing.T) {
+	a := NewAggregator()
+	// Channel 1: two peers, one degraded record.
+	a.Add(&Record{PeerID: 10, ChannelID: 1, Continuity: 0.95, BufferLevel: 10, DownloadKbps: 500, LossRate: 0.01})
+	a.Add(&Record{PeerID: 11, ChannelID: 1, Continuity: 0.50, BufferLevel: 2, DownloadKbps: 100, LossRate: 0.20})
+	// Channel 2: one peer, healthy.
+	a.Add(&Record{PeerID: 12, ChannelID: 2, Continuity: 0.99, BufferLevel: 15, DownloadKbps: 800, LossRate: 0.005})
+
+	if a.Records() != 3 || a.PeerCount() != 3 {
+		t.Fatalf("records=%d peers=%d", a.Records(), a.PeerCount())
+	}
+	chans := a.Channels()
+	if len(chans) != 2 {
+		t.Fatalf("channels = %d", len(chans))
+	}
+	c1 := chans[0]
+	if c1.ChannelID != 1 || c1.Records != 2 || c1.Peers != 2 {
+		t.Errorf("channel 1 report: %+v", c1)
+	}
+	if math.Abs(c1.MeanContinuity-0.725) > 1e-9 {
+		t.Errorf("channel 1 continuity = %v", c1.MeanContinuity)
+	}
+	if math.Abs(c1.DegradedFraction-0.5) > 1e-9 {
+		t.Errorf("channel 1 degraded fraction = %v", c1.DegradedFraction)
+	}
+	if chans[1].DegradedFraction != 0 {
+		t.Errorf("channel 2 degraded fraction = %v", chans[1].DegradedFraction)
+	}
+}
+
+func TestAggregatorWorstPeers(t *testing.T) {
+	a := NewAggregator()
+	a.Add(&Record{PeerID: 1, Continuity: 0.99})
+	a.Add(&Record{PeerID: 2, Continuity: 0.40})
+	a.Add(&Record{PeerID: 3, Continuity: 0.70})
+	worst := a.WorstPeers(2)
+	if len(worst) != 2 {
+		t.Fatalf("got %d peers", len(worst))
+	}
+	if worst[0].PeerID != 2 || worst[1].PeerID != 3 {
+		t.Errorf("worst order: %+v", worst)
+	}
+	if all := a.WorstPeers(10); len(all) != 3 {
+		t.Errorf("WorstPeers(10) = %d entries", len(all))
+	}
+}
+
+func TestAggregatorCustomThreshold(t *testing.T) {
+	a := NewAggregator()
+	a.OutageThreshold = 0.99
+	a.Add(&Record{PeerID: 1, ChannelID: 1, Continuity: 0.95})
+	if got := a.Channels()[0].DegradedFraction; got != 1 {
+		t.Errorf("degraded fraction with threshold 0.99 = %v", got)
+	}
+}
+
+func TestAggregatorAddBlock(t *testing.T) {
+	rng := randx.New(1)
+	g := NewGenerator(7, rng)
+	var records []*Record
+	for i := 0; i < 4; i++ {
+		records = append(records, g.Next(float64(i)))
+	}
+	blocks, err := PackRecords(records, 2*RecordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := NewAggregator()
+	total := 0
+	for _, b := range blocks {
+		n, err := a.AddBlock(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+	}
+	if total != 4 || a.Records() != 4 {
+		t.Errorf("recovered %d records, aggregator has %d", total, a.Records())
+	}
+	if a.PeerCount() != 1 {
+		t.Errorf("peer count = %d", a.PeerCount())
+	}
+}
+
+func TestAggregatorAddBlockCorrupt(t *testing.T) {
+	a := NewAggregator()
+	bad := make([]byte, RecordSize)
+	bad[0] = 0xFF // non-zero, non-magic
+	if _, err := a.AddBlock(bad); err == nil {
+		t.Error("corrupt block accepted")
+	}
+}

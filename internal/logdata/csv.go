@@ -1,0 +1,129 @@
+package logdata
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csvHeader is the column layout of exported records.
+var csvHeader = []string{
+	"peer_id", "seq_no", "timestamp", "channel_id", "partner_count",
+	"buffer_level_s", "continuity", "download_kbps", "upload_kbps", "loss_rate",
+}
+
+// CSVWriter streams recovered statistics records as CSV, writing the
+// header before the first record. It is what a logging server persists to
+// disk for offline analysis.
+type CSVWriter struct {
+	w           io.Writer
+	wroteHeader bool
+	records     int64
+}
+
+// NewCSVWriter returns a writer emitting to w.
+func NewCSVWriter(w io.Writer) *CSVWriter {
+	return &CSVWriter{w: w}
+}
+
+// Write appends one record (plus the header on first use).
+func (c *CSVWriter) Write(r *Record) error {
+	if !c.wroteHeader {
+		if _, err := io.WriteString(c.w, strings.Join(csvHeader, ",")+"\n"); err != nil {
+			return fmt.Errorf("logdata: csv header: %w", err)
+		}
+		c.wroteHeader = true
+	}
+	fields := []string{
+		strconv.FormatUint(r.PeerID, 10),
+		strconv.FormatUint(r.SeqNo, 10),
+		strconv.FormatFloat(r.Timestamp, 'f', 3, 64),
+		strconv.FormatUint(uint64(r.ChannelID), 10),
+		strconv.FormatUint(uint64(r.PartnerCount), 10),
+		strconv.FormatFloat(r.BufferLevel, 'f', 3, 64),
+		strconv.FormatFloat(r.Continuity, 'f', 4, 64),
+		strconv.FormatFloat(r.DownloadKbps, 'f', 1, 64),
+		strconv.FormatFloat(r.UploadKbps, 'f', 1, 64),
+		strconv.FormatFloat(r.LossRate, 'f', 4, 64),
+	}
+	if _, err := io.WriteString(c.w, strings.Join(fields, ",")+"\n"); err != nil {
+		return fmt.Errorf("logdata: csv row: %w", err)
+	}
+	c.records++
+	return nil
+}
+
+// WriteBlock unpacks a decoded payload block and appends its records,
+// returning how many were written.
+func (c *CSVWriter) WriteBlock(block []byte) (int, error) {
+	records, err := UnpackRecords(block)
+	if err != nil {
+		return 0, err
+	}
+	for i, r := range records {
+		if err := c.Write(r); err != nil {
+			return i, err
+		}
+	}
+	return len(records), nil
+}
+
+// Records returns the number of rows written (excluding the header).
+func (c *CSVWriter) Records() int64 { return c.records }
+
+// ParseCSVRecords reads back rows produced by CSVWriter, for tests and
+// offline tooling. It tolerates a missing header only if strict is false.
+func ParseCSVRecords(data string) ([]*Record, error) {
+	lines := strings.Split(strings.TrimSpace(data), "\n")
+	if len(lines) == 0 || lines[0] != strings.Join(csvHeader, ",") {
+		return nil, fmt.Errorf("logdata: missing csv header")
+	}
+	var out []*Record
+	for ln, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != len(csvHeader) {
+			return nil, fmt.Errorf("logdata: row %d has %d fields", ln+1, len(fields))
+		}
+		var (
+			r   Record
+			err error
+		)
+		if r.PeerID, err = strconv.ParseUint(fields[0], 10, 64); err != nil {
+			return nil, fmt.Errorf("logdata: row %d peer_id: %w", ln+1, err)
+		}
+		if r.SeqNo, err = strconv.ParseUint(fields[1], 10, 64); err != nil {
+			return nil, fmt.Errorf("logdata: row %d seq_no: %w", ln+1, err)
+		}
+		if r.Timestamp, err = strconv.ParseFloat(fields[2], 64); err != nil {
+			return nil, fmt.Errorf("logdata: row %d timestamp: %w", ln+1, err)
+		}
+		ch, err := strconv.ParseUint(fields[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("logdata: row %d channel_id: %w", ln+1, err)
+		}
+		r.ChannelID = uint32(ch)
+		pc, err := strconv.ParseUint(fields[4], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("logdata: row %d partner_count: %w", ln+1, err)
+		}
+		r.PartnerCount = uint32(pc)
+		if r.BufferLevel, err = strconv.ParseFloat(fields[5], 64); err != nil {
+			return nil, fmt.Errorf("logdata: row %d buffer_level: %w", ln+1, err)
+		}
+		if r.Continuity, err = strconv.ParseFloat(fields[6], 64); err != nil {
+			return nil, fmt.Errorf("logdata: row %d continuity: %w", ln+1, err)
+		}
+		if r.DownloadKbps, err = strconv.ParseFloat(fields[7], 64); err != nil {
+			return nil, fmt.Errorf("logdata: row %d download: %w", ln+1, err)
+		}
+		if r.UploadKbps, err = strconv.ParseFloat(fields[8], 64); err != nil {
+			return nil, fmt.Errorf("logdata: row %d upload: %w", ln+1, err)
+		}
+		if r.LossRate, err = strconv.ParseFloat(fields[9], 64); err != nil {
+			return nil, fmt.Errorf("logdata: row %d loss_rate: %w", ln+1, err)
+		}
+		out = append(out, &r)
+	}
+	return out, nil
+}

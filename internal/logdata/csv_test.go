@@ -1,0 +1,82 @@
+package logdata
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"p2pcollect/internal/randx"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := randx.New(1)
+	g := NewGenerator(42, rng)
+	var sb strings.Builder
+	w := NewCSVWriter(&sb)
+	var originals []*Record
+	for i := 0; i < 5; i++ {
+		r := g.Next(float64(i))
+		originals = append(originals, r)
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Records() != 5 {
+		t.Errorf("Records = %d", w.Records())
+	}
+	parsed, err := ParseCSVRecords(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != 5 {
+		t.Fatalf("parsed %d rows", len(parsed))
+	}
+	for i, p := range parsed {
+		o := originals[i]
+		if p.PeerID != o.PeerID || p.SeqNo != o.SeqNo || p.ChannelID != o.ChannelID {
+			t.Errorf("row %d identity mismatch", i)
+		}
+		if math.Abs(p.Continuity-o.Continuity) > 1e-4 || math.Abs(p.DownloadKbps-o.DownloadKbps) > 0.1 {
+			t.Errorf("row %d metric mismatch", i)
+		}
+	}
+}
+
+func TestCSVWriteBlock(t *testing.T) {
+	rng := randx.New(2)
+	g := NewGenerator(7, rng)
+	records := []*Record{g.Next(0), g.Next(1), g.Next(2)}
+	blocks, err := PackRecords(records, 4*RecordSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w := NewCSVWriter(&sb)
+	n, err := w.WriteBlock(blocks[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("WriteBlock wrote %d records", n)
+	}
+	if lines := strings.Count(sb.String(), "\n"); lines != 4 { // header + 3 rows
+		t.Errorf("csv has %d lines", lines)
+	}
+}
+
+func TestParseCSVRejectsGarbage(t *testing.T) {
+	if _, err := ParseCSVRecords("not,a,header\n1,2,3"); err == nil {
+		t.Error("garbage header accepted")
+	}
+	var sb strings.Builder
+	w := NewCSVWriter(&sb)
+	rng := randx.New(3)
+	if err := w.Write(NewGenerator(1, rng).Next(0)); err != nil {
+		t.Fatal(err)
+	}
+	truncated := strings.TrimSuffix(sb.String(), "\n")
+	truncated = truncated[:len(truncated)-10] // corrupt the last row
+	if _, err := ParseCSVRecords(truncated); err == nil {
+		t.Error("truncated row accepted")
+	}
+}

@@ -1,0 +1,284 @@
+// Package metrics provides the estimators and output helpers used by the
+// simulator and the experiment harness: streaming mean/variance, time-
+// weighted averages over simulated time, rate counters, and series that can
+// be rendered as aligned text tables or CSV.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Summary is a streaming mean/variance estimator (Welford's algorithm).
+// The zero value is ready to use.
+type Summary struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	if s.n == 0 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	s.n++
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int64 { return s.n }
+
+// Mean returns the sample mean (NaN when empty).
+func (s *Summary) Mean() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.mean
+}
+
+// Var returns the unbiased sample variance (NaN for n < 2).
+func (s *Summary) Var() float64 {
+	if s.n < 2 {
+		return math.NaN()
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (s *Summary) Std() float64 { return math.Sqrt(s.Var()) }
+
+// Min returns the smallest observation (NaN when empty).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.min
+}
+
+// Max returns the largest observation (NaN when empty).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return math.NaN()
+	}
+	return s.max
+}
+
+// TimeWeighted tracks the time average of a piecewise-constant quantity,
+// e.g. the number of buffered blocks, over simulated time.
+type TimeWeighted struct {
+	started  bool
+	lastT    float64
+	lastV    float64
+	area     float64
+	duration float64
+}
+
+// Observe records that the quantity has value v from time t onward. Calls
+// must have non-decreasing t; the first call starts the observation window.
+func (w *TimeWeighted) Observe(t, v float64) {
+	if w.started {
+		if t < w.lastT {
+			panic("metrics: time moved backwards")
+		}
+		w.area += w.lastV * (t - w.lastT)
+		w.duration += t - w.lastT
+	}
+	w.started = true
+	w.lastT = t
+	w.lastV = v
+}
+
+// CloseAt finalizes the window at time t, extending the last value.
+func (w *TimeWeighted) CloseAt(t float64) { w.Observe(t, w.lastV) }
+
+// Mean returns the time average so far (NaN before any interval elapsed).
+func (w *TimeWeighted) Mean() float64 {
+	if w.duration == 0 {
+		return math.NaN()
+	}
+	return w.area / w.duration
+}
+
+// Duration returns the observed window length.
+func (w *TimeWeighted) Duration() float64 { return w.duration }
+
+// Rate counts events within a window of simulated time.
+type Rate struct {
+	count int64
+	start float64
+	now   float64
+}
+
+// NewRate starts a counting window at time t.
+func NewRate(t float64) *Rate { return &Rate{start: t, now: t} }
+
+// Add records n events at time t.
+func (r *Rate) Add(t float64, n int64) {
+	r.count += n
+	if t > r.now {
+		r.now = t
+	}
+}
+
+// Count returns the number of events recorded.
+func (r *Rate) Count() int64 { return r.count }
+
+// PerUnit returns events per unit time as of time t.
+func (r *Rate) PerUnit(t float64) float64 {
+	if t <= r.start {
+		return math.NaN()
+	}
+	return float64(r.count) / (t - r.start)
+}
+
+// Point is one (X, Y) observation of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points, one curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Table renders a set of series sharing an X column, mirroring how the
+// paper's figures tabulate one curve per parameter setting.
+type Table struct {
+	Title  string
+	XLabel string
+	series []*Series
+}
+
+// NewTable returns an empty table.
+func NewTable(title, xLabel string) *Table {
+	return &Table{Title: title, XLabel: xLabel}
+}
+
+// AddSeries registers a curve and returns it for population.
+func (t *Table) AddSeries(name string) *Series {
+	s := &Series{Name: name}
+	t.series = append(t.series, s)
+	return s
+}
+
+// Series returns the registered curves.
+func (t *Table) Series() []*Series { return t.series }
+
+// xValues returns the sorted union of X coordinates across all series.
+func (t *Table) xValues() []float64 {
+	seen := make(map[float64]bool)
+	var xs []float64
+	for _, s := range t.series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+func (t *Table) lookup(s *Series, x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// Render formats the table as aligned text. Missing cells render as "-".
+func (t *Table) Render() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "# %s\n", t.Title)
+	}
+	headers := []string{t.XLabel}
+	for _, s := range t.series {
+		headers = append(headers, s.Name)
+	}
+	rows := [][]string{headers}
+	for _, x := range t.xValues() {
+		row := []string{formatCell(x)}
+		for _, s := range t.series {
+			if y, ok := t.lookup(s, x); ok {
+				row = append(row, formatCell(y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, len(headers))
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCSV formats the table as CSV with the same layout as Render.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(t.XLabel))
+	for _, s := range t.series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	for _, x := range t.xValues() {
+		b.WriteString(formatCell(x))
+		for _, s := range t.series {
+			b.WriteByte(',')
+			if y, ok := t.lookup(s, x); ok {
+				b.WriteString(formatCell(y))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatCell(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e12 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}

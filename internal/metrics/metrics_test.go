@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Error("empty summary should be NaN")
+	}
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Population variance is 4; unbiased variance is 32/7.
+	if got := s.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", got, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummarySingleObservation(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if !math.IsNaN(s.Var()) {
+		t.Errorf("Var of single sample = %v, want NaN", s.Var())
+	}
+}
+
+func TestTimeWeighted(t *testing.T) {
+	var w TimeWeighted
+	if !math.IsNaN(w.Mean()) {
+		t.Error("empty TimeWeighted should be NaN")
+	}
+	w.Observe(0, 10) // 10 over [0, 2)
+	w.Observe(2, 0)  // 0 over [2, 4)
+	w.CloseAt(4)
+	if got := w.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	if w.Duration() != 4 {
+		t.Errorf("Duration = %v", w.Duration())
+	}
+}
+
+func TestTimeWeightedBackwardsPanics(t *testing.T) {
+	var w TimeWeighted
+	w.Observe(5, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards time did not panic")
+		}
+	}()
+	w.Observe(4, 1)
+}
+
+func TestRate(t *testing.T) {
+	r := NewRate(10)
+	r.Add(12, 4)
+	r.Add(14, 2)
+	if r.Count() != 6 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	if got := r.PerUnit(16); math.Abs(got-1) > 1e-12 {
+		t.Errorf("PerUnit = %v, want 1", got)
+	}
+	if !math.IsNaN(r.PerUnit(10)) {
+		t.Error("PerUnit at window start should be NaN")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := NewTable("Fig X", "s")
+	a := tbl.AddSeries("analysis")
+	b := tbl.AddSeries("sim")
+	a.Add(1, 0.5)
+	a.Add(2, 0.75)
+	b.Add(1, 0.48)
+	out := tbl.Render()
+	if !strings.Contains(out, "# Fig X") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, 2 data rows
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "s") || !strings.Contains(lines[1], "analysis") {
+		t.Errorf("bad header: %q", lines[1])
+	}
+	if !strings.Contains(lines[3], "-") {
+		t.Errorf("missing cell not rendered as '-': %q", lines[3])
+	}
+}
+
+func TestTableRenderCSV(t *testing.T) {
+	tbl := NewTable("", "mu")
+	s := tbl.AddSeries(`c=8, "severe"`)
+	s.Add(2, 0.25)
+	out := tbl.RenderCSV()
+	want := "mu,\"c=8, \"\"severe\"\"\"\n2,0.25\n"
+	if out != want {
+		t.Errorf("CSV = %q, want %q", out, want)
+	}
+}
+
+func TestTableXUnionSorted(t *testing.T) {
+	tbl := NewTable("", "x")
+	a := tbl.AddSeries("a")
+	a.Add(3, 1)
+	a.Add(1, 1)
+	b := tbl.AddSeries("b")
+	b.Add(2, 1)
+	xs := tbl.xValues()
+	if len(xs) != 3 || xs[0] != 1 || xs[1] != 2 || xs[2] != 3 {
+		t.Errorf("xValues = %v", xs)
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	tests := []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"},
+		{0.5, "0.5"},
+		{0.123456, "0.1235"},
+		{-2, "-2"},
+	}
+	for _, tt := range tests {
+		if got := formatCell(tt.v); got != tt.want {
+			t.Errorf("formatCell(%v) = %q, want %q", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestRenderChartBasics(t *testing.T) {
+	tbl := NewTable("Shape", "s")
+	a := tbl.AddSeries("rising")
+	for i := 1; i <= 10; i++ {
+		a.Add(float64(i), float64(i)*0.1)
+	}
+	b := tbl.AddSeries("flat")
+	for i := 1; i <= 10; i++ {
+		b.Add(float64(i), 0.5)
+	}
+	out := tbl.RenderChart()
+	if !strings.Contains(out, "# Shape") {
+		t.Errorf("missing title:\n%s", out)
+	}
+	if !strings.Contains(out, "* rising") || !strings.Contains(out, "o flat") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "s = 1 .. 10") {
+		t.Errorf("missing x range:\n%s", out)
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("missing glyphs:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	plotLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			plotLines++
+		}
+	}
+	if plotLines != chartHeight {
+		t.Errorf("plot rows = %d, want %d", plotLines, chartHeight)
+	}
+}
+
+func TestRenderChartEmpty(t *testing.T) {
+	tbl := NewTable("Empty", "x")
+	tbl.AddSeries("nothing")
+	if out := tbl.RenderChart(); !strings.Contains(out, "(no data)") {
+		t.Errorf("empty chart output:\n%s", out)
+	}
+}
+
+func TestRenderChartConstantSeries(t *testing.T) {
+	// Degenerate extent (single point, flat line) must not divide by zero.
+	tbl := NewTable("", "x")
+	s := tbl.AddSeries("dot")
+	s.Add(5, 7)
+	out := tbl.RenderChart()
+	if !strings.Contains(out, "* dot") {
+		t.Errorf("single-point chart broken:\n%s", out)
+	}
+}

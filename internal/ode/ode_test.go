@@ -1,0 +1,283 @@
+package ode
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func defaultParams() Params {
+	return Params{Lambda: 8, Mu: 6, Gamma: 1, C: 3, S: 4}
+}
+
+func TestValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"negative lambda", func(p *Params) { p.Lambda = -1 }},
+		{"negative mu", func(p *Params) { p.Mu = -1 }},
+		{"zero gamma", func(p *Params) { p.Gamma = 0 }},
+		{"negative c", func(p *Params) { p.C = -1 }},
+		{"zero s", func(p *Params) { p.S = 0 }},
+		{"b below s", func(p *Params) { p.S = 10; p.B = 5 }},
+		{"w below s", func(p *Params) { p.S = 10; p.B = 100; p.W = 5 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := defaultParams()
+			tt.mutate(&p)
+			if _, err := Solve(p); err == nil {
+				t.Error("invalid params accepted")
+			}
+		})
+	}
+}
+
+func TestZIsProbabilityDistribution(t *testing.T) {
+	ss, err := Solve(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, z := range ss.Z {
+		if z < 0 {
+			t.Fatalf("negative z: %v", z)
+		}
+		sum += z
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("sum z = %v, want 1", sum)
+	}
+}
+
+func TestTheorem1FixedPointNonCoding(t *testing.T) {
+	// For s = 1 the paper gives z̃_0 = e^{-ρ} and z̃_i Poisson(ρ).
+	p := Params{Lambda: 3, Mu: 4, Gamma: 1, C: 1, S: 1}
+	ss, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fixed point of ρ = (1−e^{-ρ})μ/γ + λ/γ.
+	rho := p.Lambda
+	for i := 0; i < 200; i++ {
+		rho = (1-math.Exp(-rho))*p.Mu/p.Gamma + p.Lambda/p.Gamma
+	}
+	if math.Abs(ss.Rho-rho) > 1e-6 {
+		t.Errorf("Rho = %v, fixed point %v", ss.Rho, rho)
+	}
+	if math.Abs(ss.Z0()-math.Exp(-rho)) > 1e-6 {
+		t.Errorf("Z0 = %v, want %v", ss.Z0(), math.Exp(-rho))
+	}
+	// Poisson shape: z_i = z_0 ρ^i / i!.
+	for i := 1; i <= 10; i++ {
+		want := ss.Z[0] * math.Pow(rho, float64(i)) / factorial(i)
+		if math.Abs(ss.Z[i]-want) > 1e-6 {
+			t.Errorf("z[%d] = %v, Poisson predicts %v", i, ss.Z[i], want)
+		}
+	}
+	// E must equal ρ when B is large (Theorem 1 proof).
+	if math.Abs(ss.E-ss.Rho) > 1e-6 {
+		t.Errorf("E = %v, Rho = %v", ss.E, ss.Rho)
+	}
+}
+
+func TestEEqualsRhoForCodedCase(t *testing.T) {
+	// ẽ = ρ holds for every s by edge-rate balance.
+	for _, s := range []int{2, 5, 16} {
+		p := defaultParams()
+		p.S = s
+		ss, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rel := math.Abs(ss.E-ss.Rho) / ss.Rho; rel > 1e-5 {
+			t.Errorf("s=%d: E = %v, Rho = %v (rel %v)", s, ss.E, ss.Rho, rel)
+		}
+	}
+}
+
+func TestOverheadBoundedByMuOverGamma(t *testing.T) {
+	for _, s := range []int{1, 4, 20} {
+		p := Params{Lambda: 20, Mu: 10, Gamma: 1, C: 4, S: s}
+		ss, err := Solve(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		overhead := ss.Rho - p.Lambda/p.Gamma
+		if overhead < 0 || overhead > p.Mu/p.Gamma {
+			t.Errorf("s=%d: overhead %v outside (0, μ/γ=%v)", s, overhead, p.Mu/p.Gamma)
+		}
+	}
+}
+
+func TestWMassMatchesEdgeCount(t *testing.T) {
+	// Σ i·w̃_i must equal ẽ (both count edges per peer).
+	ss, err := Solve(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var edgeMass float64
+	for i := 1; i < len(ss.W); i++ {
+		if ss.W[i] < -1e-12 {
+			t.Fatalf("negative w[%d] = %v", i, ss.W[i])
+		}
+		edgeMass += float64(i) * ss.W[i]
+	}
+	if rel := math.Abs(edgeMass-ss.E) / ss.E; rel > 1e-3 {
+		t.Errorf("Σ i·w = %v, e = %v (rel %v)", edgeMass, ss.E, rel)
+	}
+}
+
+func TestMColumnsSumToW(t *testing.T) {
+	// Summing the m system over j must recover the w system exactly.
+	ss, err := Solve(defaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ss.W); i++ {
+		var sum float64
+		for j := 0; j <= ss.Params.S; j++ {
+			if ss.M[i][j] < -1e-12 {
+				t.Fatalf("negative m[%d][%d] = %v", i, j, ss.M[i][j])
+			}
+			sum += ss.M[i][j]
+		}
+		if diff := math.Abs(sum - ss.W[i]); diff > 1e-9*(1+ss.W[i]) {
+			t.Errorf("Σ_j m[%d][j] = %v, w[%d] = %v", i, sum, i, ss.W[i])
+		}
+	}
+}
+
+func TestMoreCapacityMoreGoodSegments(t *testing.T) {
+	p := defaultParams()
+	low, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.C = 8
+	high, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.SumMs() <= low.SumMs() {
+		t.Errorf("good-segment mass did not grow with capacity: %v vs %v", high.SumMs(), low.SumMs())
+	}
+}
+
+func TestZeroCapacityMeansNoCollection(t *testing.T) {
+	p := defaultParams()
+	p.C = 0
+	ss, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.SumMs() > 1e-12 {
+		t.Errorf("good segments with zero capacity: %v", ss.SumMs())
+	}
+	// With no pulls every segment stays in state 0: m^0 must carry all of w.
+	for i := 1; i < len(ss.W); i++ {
+		if diff := math.Abs(ss.M[i][0] - ss.W[i]); diff > 1e-9*(1+ss.W[i]) {
+			t.Errorf("m[%d][0] = %v, w[%d] = %v", i, ss.M[i][0], i, ss.W[i])
+		}
+	}
+}
+
+func TestNoTrafficDegenerate(t *testing.T) {
+	p := Params{Lambda: 0, Mu: 0, Gamma: 1, C: 1, S: 2, B: 10, W: 10}
+	ss, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.E != 0 {
+		t.Errorf("E = %v for empty system", ss.E)
+	}
+	if math.Abs(ss.Z[0]-1) > 1e-9 {
+		t.Errorf("z0 = %v for empty system", ss.Z[0])
+	}
+}
+
+func TestThomasMatchesDenseSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(12)
+		lower := make([]float64, n)
+		diag := make([]float64, n)
+		upper := make([]float64, n)
+		rhs := make([]float64, n)
+		for k := 0; k < n; k++ {
+			if k > 0 {
+				lower[k] = rng.Float64()
+			}
+			if k < n-1 {
+				upper[k] = rng.Float64()
+			}
+			// Generator-like diagonal: strictly dominant by a margin.
+			diag[k] = -(lower[k] + upper[k] + 0.5 + rng.Float64())
+			rhs[k] = rng.Float64()*2 - 1
+		}
+		x := thomas(lower, diag, upper, rhs)
+		// Residual check against the dense system.
+		for k := 0; k < n; k++ {
+			res := diag[k]*x[k] - rhs[k]
+			if k > 0 {
+				res += lower[k] * x[k-1]
+			}
+			if k < n-1 {
+				res += upper[k] * x[k+1]
+			}
+			if math.Abs(res) > 1e-9 {
+				t.Fatalf("trial %d row %d residual %v", trial, k, res)
+			}
+		}
+	}
+}
+
+func factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}
+
+func TestEvolveEValidation(t *testing.T) {
+	p := defaultParams()
+	if _, err := EvolveE(p, 0, 1); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if _, err := EvolveE(p, 10, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestEvolveEConvergesToSteadyState(t *testing.T) {
+	p := defaultParams()
+	traj, err := EvolveE(p, 40, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traj) < 40 {
+		t.Fatalf("got %d trajectory points", len(traj))
+	}
+	if traj[0].E != 0 || traj[0].Z0 != 1 {
+		t.Errorf("initial point = %+v, want empty network", traj[0])
+	}
+	// Monotone non-decreasing e(t) toward the fixed point.
+	for i := 1; i < len(traj); i++ {
+		if traj[i].E < traj[i-1].E-1e-9 {
+			t.Fatalf("e(t) decreased at %d: %v -> %v", i, traj[i-1].E, traj[i].E)
+		}
+	}
+	ss, err := Solve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := traj[len(traj)-1]
+	if rel := math.Abs(last.E-ss.E) / ss.E; rel > 1e-3 {
+		t.Errorf("trajectory end e=%v, steady state %v", last.E, ss.E)
+	}
+	if math.Abs(last.Z0-ss.Z0()) > 1e-3 {
+		t.Errorf("trajectory end z0=%v, steady state %v", last.Z0, ss.Z0())
+	}
+}

@@ -1,0 +1,429 @@
+package rlnc
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"p2pcollect/internal/randx"
+)
+
+func makeSegment(t *testing.T, rng *randx.Rand, id SegmentID, s, blockLen int) *Segment {
+	t.Helper()
+	blocks := make([][]byte, s)
+	for i := range blocks {
+		blocks[i] = make([]byte, blockLen)
+		rng.FillCoefficients(blocks[i])
+	}
+	seg, err := NewSegment(id, blocks)
+	if err != nil {
+		t.Fatalf("NewSegment: %v", err)
+	}
+	return seg
+}
+
+func TestNewSegmentValidation(t *testing.T) {
+	if _, err := NewSegment(SegmentID{}, nil); err == nil {
+		t.Error("empty segment accepted")
+	}
+	if _, err := NewSegment(SegmentID{}, [][]byte{{1, 2}, {3}}); err == nil {
+		t.Error("ragged segment accepted")
+	}
+}
+
+func TestSourceBlockUnitVector(t *testing.T) {
+	rng := randx.New(1)
+	seg := makeSegment(t, rng, SegmentID{Origin: 1, Seq: 2}, 4, 8)
+	for i := 0; i < 4; i++ {
+		b := seg.SourceBlock(i)
+		for j, c := range b.Coeffs {
+			want := byte(0)
+			if j == i {
+				want = 1
+			}
+			if c != want {
+				t.Fatalf("SourceBlock(%d).Coeffs[%d] = %d", i, j, c)
+			}
+		}
+		if !bytes.Equal(b.Payload, seg.Blocks[i]) {
+			t.Fatalf("SourceBlock(%d) payload mismatch", i)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name        string
+		s, blockLen int
+	}{
+		{"s=1", 1, 16},
+		{"s=2", 2, 1},
+		{"s=8", 8, 32},
+		{"s=32", 32, 64},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			rng := randx.New(2)
+			id := SegmentID{Origin: 7, Seq: 9}
+			seg := makeSegment(t, rng, id, tt.s, tt.blockLen)
+			dec := NewDecoder(id, tt.s, tt.blockLen)
+			sent := 0
+			for !dec.Complete() {
+				sent++
+				if sent > tt.s*4 {
+					t.Fatalf("decoder not complete after %d random blocks", sent)
+				}
+				if _, err := dec.Add(seg.Encode(rng)); err != nil {
+					t.Fatalf("Add: %v", err)
+				}
+			}
+			got, err := dec.Decode()
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			for i := range got {
+				if !bytes.Equal(got[i], seg.Blocks[i]) {
+					t.Fatalf("decoded block %d differs", i)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeAfterMultiHopRecoding(t *testing.T) {
+	// Source → relay A → relay B → server, with partial buffers at each hop.
+	rng := randx.New(3)
+	id := SegmentID{Origin: 3, Seq: 1}
+	const s = 6
+	seg := makeSegment(t, rng, id, s, 24)
+
+	relayA := NewHolding(id, s)
+	for i := 0; i < s; i++ {
+		relayA.Add(seg.Encode(rng))
+	}
+	relayB := NewHolding(id, s)
+	for relayB.Rank() < s {
+		relayB.Add(relayA.Recode(rng))
+	}
+	dec := NewDecoder(id, s, 24)
+	for !dec.Complete() {
+		if _, err := dec.Add(relayB.Recode(rng)); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	got, err := dec.Decode()
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], seg.Blocks[i]) {
+			t.Fatalf("multi-hop decoded block %d differs", i)
+		}
+	}
+}
+
+func TestDecoderRejectsForeignAndMisshapen(t *testing.T) {
+	rng := randx.New(4)
+	id := SegmentID{Origin: 1, Seq: 1}
+	seg := makeSegment(t, rng, id, 3, 8)
+	dec := NewDecoder(id, 3, 8)
+
+	foreign := seg.Encode(rng)
+	foreign.Seg = SegmentID{Origin: 2, Seq: 2}
+	if _, err := dec.Add(foreign); !errors.Is(err, ErrSegmentMismatch) {
+		t.Errorf("foreign block err = %v, want ErrSegmentMismatch", err)
+	}
+
+	short := seg.Encode(rng)
+	short.Coeffs = short.Coeffs[:2]
+	if _, err := dec.Add(short); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("short coeffs err = %v, want ErrShapeMismatch", err)
+	}
+
+	badPayload := seg.Encode(rng)
+	badPayload.Payload = badPayload.Payload[:4]
+	if _, err := dec.Add(badPayload); !errors.Is(err, ErrShapeMismatch) {
+		t.Errorf("bad payload err = %v, want ErrShapeMismatch", err)
+	}
+}
+
+func TestDecodeIncomplete(t *testing.T) {
+	rng := randx.New(5)
+	id := SegmentID{Origin: 1, Seq: 1}
+	seg := makeSegment(t, rng, id, 4, 8)
+	dec := NewDecoder(id, 4, 8)
+	if _, err := dec.Add(seg.Encode(rng)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(); !errors.Is(err, ErrIncomplete) {
+		t.Errorf("Decode on partial rank err = %v, want ErrIncomplete", err)
+	}
+}
+
+func TestRankOnlyDecoder(t *testing.T) {
+	rng := randx.New(6)
+	id := SegmentID{Origin: 1, Seq: 1}
+	seg := makeSegment(t, rng, id, 3, 8)
+	dec := NewDecoder(id, 3, 0)
+	for !dec.Complete() {
+		b := seg.Encode(rng)
+		b.Payload = nil
+		if _, err := dec.Add(b); err != nil {
+			t.Fatalf("Add: %v", err)
+		}
+	}
+	if _, err := dec.Decode(); !errors.Is(err, ErrNoPayload) {
+		t.Errorf("rank-only Decode err = %v, want ErrNoPayload", err)
+	}
+}
+
+func TestRedundantBlocksNotInnovative(t *testing.T) {
+	rng := randx.New(7)
+	id := SegmentID{Origin: 1, Seq: 1}
+	seg := makeSegment(t, rng, id, 4, 8)
+	dec := NewDecoder(id, 4, 8)
+	for !dec.Complete() {
+		if _, err := dec.Add(seg.Encode(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	innovative, err := dec.Add(seg.Encode(rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if innovative {
+		t.Error("block innovative after decoder already complete")
+	}
+}
+
+func TestRecodeAnchorsNonZero(t *testing.T) {
+	rng := randx.New(8)
+	id := SegmentID{Origin: 1, Seq: 1}
+	seg := makeSegment(t, rng, id, 5, 4)
+	for trial := 0; trial < 200; trial++ {
+		b := Recode([]*CodedBlock{seg.SourceBlock(0)}, rng)
+		allZero := true
+		for _, c := range b.Coeffs {
+			if c != 0 {
+				allZero = false
+			}
+		}
+		if allZero {
+			t.Fatal("Recode produced a zero block")
+		}
+	}
+}
+
+func TestRecodeMismatchPanics(t *testing.T) {
+	rng := randx.New(9)
+	a := &CodedBlock{Seg: SegmentID{Origin: 1}, Coeffs: []byte{1, 0}}
+	b := &CodedBlock{Seg: SegmentID{Origin: 2}, Coeffs: []byte{0, 1}}
+	defer func() {
+		if recover() == nil {
+			t.Error("Recode over mixed segments did not panic")
+		}
+	}()
+	Recode([]*CodedBlock{a, b}, rng)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	b := &CodedBlock{Seg: SegmentID{Origin: 1}, Coeffs: []byte{1, 2}, Payload: []byte{3}}
+	c := b.Clone()
+	c.Coeffs[0] = 9
+	c.Payload[0] = 9
+	if b.Coeffs[0] != 1 || b.Payload[0] != 3 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestPropertyDecodeRecoversPayloads(t *testing.T) {
+	f := func(seed int64, sRaw, lenRaw uint8) bool {
+		s := int(sRaw%16) + 1
+		blockLen := int(lenRaw%32) + 1
+		rng := randx.New(seed)
+		id := SegmentID{Origin: 1, Seq: uint64(seed)}
+		blocks := make([][]byte, s)
+		for i := range blocks {
+			blocks[i] = make([]byte, blockLen)
+			rng.FillCoefficients(blocks[i])
+		}
+		seg, err := NewSegment(id, blocks)
+		if err != nil {
+			return false
+		}
+		dec := NewDecoder(id, s, blockLen)
+		for tries := 0; !dec.Complete(); tries++ {
+			if tries > 20*s {
+				return false
+			}
+			if _, err := dec.Add(seg.Encode(rng)); err != nil {
+				return false
+			}
+		}
+		got, err := dec.Decode()
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if !bytes.Equal(got[i], blocks[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHoldingAddRemove(t *testing.T) {
+	rng := randx.New(10)
+	id := SegmentID{Origin: 2, Seq: 1}
+	seg := makeSegment(t, rng, id, 4, 8)
+	h := NewHolding(id, 4)
+	for h.Rank() < 4 {
+		h.Add(seg.Encode(rng))
+	}
+	if !h.Full() {
+		t.Fatal("holding not full at rank s")
+	}
+	if h.Add(seg.Encode(rng)) {
+		t.Error("full holding accepted another block")
+	}
+	h.Remove(0)
+	if h.Rank() != 3 || h.Full() {
+		t.Errorf("after Remove: rank %d full=%v", h.Rank(), h.Full())
+	}
+	// The holding must accept an innovative block again.
+	for tries := 0; h.Rank() < 4; tries++ {
+		if tries > 50 {
+			t.Fatal("holding never refilled")
+		}
+		h.Add(seg.Encode(rng))
+	}
+}
+
+func TestHoldingRemoveBlock(t *testing.T) {
+	rng := randx.New(11)
+	id := SegmentID{Origin: 2, Seq: 2}
+	seg := makeSegment(t, rng, id, 3, 4)
+	h := NewHolding(id, 3)
+	var stored *CodedBlock
+	for h.Rank() < 2 {
+		b := seg.Encode(rng)
+		if h.Add(b) {
+			stored = b
+		}
+	}
+	if !h.RemoveBlock(stored) {
+		t.Error("RemoveBlock failed to find stored block")
+	}
+	if h.RemoveBlock(stored) {
+		t.Error("RemoveBlock found already-removed block")
+	}
+	if h.Len() != 1 {
+		t.Errorf("Len = %d, want 1", h.Len())
+	}
+}
+
+func TestHoldingRecodeDecodes(t *testing.T) {
+	rng := randx.New(12)
+	id := SegmentID{Origin: 3, Seq: 3}
+	seg := makeSegment(t, rng, id, 5, 16)
+	h := NewHolding(id, 5)
+	for h.Rank() < 5 {
+		h.Add(seg.Encode(rng))
+	}
+	dec := NewDecoder(id, 5, 16)
+	for !dec.Complete() {
+		if _, err := dec.Add(h.Recode(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := dec.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], seg.Blocks[i]) {
+			t.Fatalf("holding-recode decoded block %d differs", i)
+		}
+	}
+}
+
+func TestHoldingPartialRankRecode(t *testing.T) {
+	// A peer holding rank l < s still re-encodes; a collector can only reach
+	// rank l from that peer alone.
+	rng := randx.New(13)
+	id := SegmentID{Origin: 4, Seq: 4}
+	seg := makeSegment(t, rng, id, 6, 8)
+	h := NewHolding(id, 6)
+	for h.Rank() < 3 {
+		h.Add(seg.Encode(rng))
+	}
+	dec := NewDecoder(id, 6, 8)
+	for i := 0; i < 100; i++ {
+		if _, err := dec.Add(h.Recode(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dec.Rank() != 3 {
+		t.Errorf("collector rank = %d, want 3 (the relay's rank)", dec.Rank())
+	}
+}
+
+func TestSegmentIDString(t *testing.T) {
+	if got := (SegmentID{Origin: 5, Seq: 17}).String(); got != "5/17" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func BenchmarkRecode32(b *testing.B) {
+	rng := randx.New(14)
+	id := SegmentID{Origin: 1, Seq: 1}
+	blocks := make([][]byte, 32)
+	for i := range blocks {
+		blocks[i] = make([]byte, 1024)
+		rng.FillCoefficients(blocks[i])
+	}
+	seg, err := NewSegment(id, blocks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := seg.SourceBlocks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Recode(src, rng)
+	}
+}
+
+func BenchmarkDecoderAdd32(b *testing.B) {
+	rng := randx.New(15)
+	id := SegmentID{Origin: 1, Seq: 1}
+	blocks := make([][]byte, 32)
+	for i := range blocks {
+		blocks[i] = make([]byte, 1024)
+		rng.FillCoefficients(blocks[i])
+	}
+	seg, err := NewSegment(id, blocks)
+	if err != nil {
+		b.Fatal(err)
+	}
+	coded := make([]*CodedBlock, 64)
+	for i := range coded {
+		coded[i] = seg.Encode(rng)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec := NewDecoder(id, 32, 1024)
+		for _, cb := range coded {
+			if _, err := dec.Add(cb); err != nil {
+				b.Fatal(err)
+			}
+			if dec.Complete() {
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"p2pcollect/internal/logdata"
+)
+
+func baselineTestConfig() BaselineConfig {
+	return BaselineConfig{
+		N:         100,
+		Lambda:    4,
+		C:         2,
+		BufferCap: 50,
+		Warmup:    10,
+		Horizon:   40,
+		Seed:      1,
+	}
+}
+
+func TestBaselineValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*BaselineConfig)
+	}{
+		{"zero peers", func(c *BaselineConfig) { c.N = 0 }},
+		{"negative lambda", func(c *BaselineConfig) { c.Lambda = -1 }},
+		{"negative capacity", func(c *BaselineConfig) { c.C = -1 }},
+		{"warmup after horizon", func(c *BaselineConfig) { c.Warmup = 90 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := baselineTestConfig()
+			tt.mutate(&cfg)
+			if _, err := RunBaseline(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestBaselineThroughputBoundedByCapacity(t *testing.T) {
+	// With λ > c, the servers are the bottleneck: collected rate ≈ c·N.
+	r, err := RunBaseline(baselineTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRate := 2.0 * 100 // c·N
+	if math.Abs(r.Throughput-wantRate)/wantRate > 0.05 {
+		t.Errorf("throughput = %v, want ~%v", r.Throughput, wantRate)
+	}
+	if r.NormalizedThroughput > 0.55 {
+		t.Errorf("normalized throughput %v above c/λ = 0.5", r.NormalizedThroughput)
+	}
+	if r.LostToOverflow == 0 {
+		t.Error("overloaded finite queues never overflowed")
+	}
+}
+
+func TestBaselineKeepsUpWhenProvisioned(t *testing.T) {
+	cfg := baselineTestConfig()
+	cfg.C = 8 // ample capacity
+	r, err := RunBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NormalizedThroughput < 0.95 {
+		t.Errorf("well-provisioned baseline throughput %v < 0.95", r.NormalizedThroughput)
+	}
+	if r.LossFraction() > 0.01 {
+		t.Errorf("loss fraction %v with ample capacity", r.LossFraction())
+	}
+}
+
+func TestBaselineChurnLosesDepartedData(t *testing.T) {
+	cfg := baselineTestConfig()
+	cfg.ChurnMeanLifetime = 3
+	r, err := RunBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Departures == 0 {
+		t.Fatal("no departures under churn")
+	}
+	if r.LostToDeparture == 0 {
+		t.Error("departures lost no queued blocks")
+	}
+}
+
+func TestBaselineFlashCrowdOverloads(t *testing.T) {
+	// A flash crowd multiplies the statistics rate while the servers stay
+	// provisioned for the average: the baseline must lose data.
+	rate := logdata.FlashCrowdRate(2, 16, 15, 2, 30)
+	cfg := BaselineConfig{
+		N:          100,
+		LambdaAt:   rate,
+		LambdaPeak: 16,
+		C:          3,
+		BufferCap:  20,
+		Warmup:     5,
+		Horizon:    60,
+		Seed:       2,
+	}
+	r, err := RunBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LostToOverflow == 0 {
+		t.Error("flash crowd caused no overflow loss")
+	}
+	if r.Generated == 0 || r.Collected == 0 {
+		t.Errorf("degenerate run: generated=%d collected=%d", r.Generated, r.Collected)
+	}
+}
+
+func TestBaselineDeterminism(t *testing.T) {
+	cfg := baselineTestConfig()
+	cfg.ChurnMeanLifetime = 4
+	a, err := RunBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Collected != b.Collected || a.Generated != b.Generated || a.LostToDeparture != b.LostToDeparture {
+		t.Error("same seed produced different baseline results")
+	}
+}
+
+func TestBaselineZeroCapacity(t *testing.T) {
+	cfg := baselineTestConfig()
+	cfg.C = 0
+	cfg.BufferCap = 10
+	r, err := RunBaseline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Collected != 0 {
+		t.Errorf("collected %d blocks with zero capacity", r.Collected)
+	}
+	if r.LostToOverflow == 0 {
+		t.Error("queues never overflowed with zero capacity")
+	}
+}
+
+func TestBaselineLossFraction(t *testing.T) {
+	r := &BaselineResult{Generated: 100, LostToOverflow: 10, LostToDeparture: 15}
+	if got := r.LossFraction(); got != 0.25 {
+		t.Errorf("LossFraction = %v, want 0.25", got)
+	}
+	empty := &BaselineResult{}
+	if got := empty.LossFraction(); got != 0 {
+		t.Errorf("empty LossFraction = %v", got)
+	}
+}

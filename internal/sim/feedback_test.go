@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+func TestServerFeedbackPurgesAndHelps(t *testing.T) {
+	base := Config{
+		N: 150, Lambda: 10, Mu: 8, Gamma: 1, SegmentSize: 8,
+		BufferCap: 128, C: 4, Warmup: 10, Horizon: 30, Seed: 21,
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := base
+	fb.ServerFeedback = true
+	withFB, err := Run(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.BlocksPurgedByFeedback != 0 {
+		t.Errorf("purges without feedback: %d", plain.BlocksPurgedByFeedback)
+	}
+	if withFB.BlocksPurgedByFeedback == 0 {
+		t.Error("feedback enabled but nothing purged")
+	}
+	// Purging delivered segments frees pull capacity for undelivered ones:
+	// collection efficiency must improve.
+	if withFB.CollectionEfficiency() <= plain.CollectionEfficiency() {
+		t.Errorf("efficiency with feedback %v not above without %v",
+			withFB.CollectionEfficiency(), plain.CollectionEfficiency())
+	}
+	if withFB.NormalizedThroughput <= plain.NormalizedThroughput {
+		t.Errorf("throughput with feedback %v not above without %v",
+			withFB.NormalizedThroughput, plain.NormalizedThroughput)
+	}
+}
+
+func TestServerFeedbackInvariants(t *testing.T) {
+	cfg := testConfig()
+	cfg.ServerFeedback = true
+	cfg.ChurnMeanLifetime = 4
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, checkpoint := range []float64{4, 10, 18, 24} {
+		s.RunUntil(checkpoint)
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("at t=%v: %v", checkpoint, err)
+		}
+	}
+	if s.Result().BlocksPurgedByFeedback == 0 {
+		t.Error("no purges in feedback run")
+	}
+}

@@ -1,0 +1,58 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"p2pcollect/internal/analysis"
+	"p2pcollect/internal/ode"
+)
+
+func TestMeanFieldSamplingRequiresFullMesh(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeanFieldSampling = true
+	cfg.Degree = 4
+	if _, err := New(cfg); err == nil {
+		t.Error("mean-field sampling with overlay accepted")
+	}
+}
+
+func TestMeanFieldSamplingMatchesODE(t *testing.T) {
+	// With the ODE's degree-proportional sampling, the simulator must
+	// reproduce Theorem 2's throughput closely even at large s and c,
+	// where the literal peer protocol deviates (see EXPERIMENTS.md).
+	for _, s := range []int{30, 100} {
+		m, err := analysis.Compute(ode.Params{Lambda: 20, Mu: 10, Gamma: 1, C: 16, S: s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := Run(Config{
+			N: 200, Lambda: 20, Mu: 10, Gamma: 1, SegmentSize: s,
+			BufferCap: 560, C: 16, MeanFieldSampling: true,
+			Warmup: 12, Horizon: 30, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(r.NormalizedThroughput-m.NormalizedThroughput) / m.NormalizedThroughput
+		if rel > 0.05 {
+			t.Errorf("s=%d: mean-field sim %v vs ODE %v (rel %v)",
+				s, r.NormalizedThroughput, m.NormalizedThroughput, rel)
+		}
+	}
+}
+
+func TestMeanFieldInvariantsHold(t *testing.T) {
+	cfg := testConfig()
+	cfg.MeanFieldSampling = true
+	sm, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, checkpoint := range []float64{5, 12, 24} {
+		sm.RunUntil(checkpoint)
+		if err := sm.CheckInvariants(); err != nil {
+			t.Fatalf("at t=%v: %v", checkpoint, err)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyInvariantsAcrossRandomConfigs fuzzes the configuration space
+// (rates, segment sizes, churn, topology, feedback, sampling mode) and
+// checks the full bookkeeping recount plus basic result sanity on each run.
+func TestPropertyInvariantsAcrossRandomConfigs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property fuzz is not short")
+	}
+	f := func(seed int64, lamR, muR, gamR, sR, cR, churnR, degR, modeR uint8) bool {
+		cfg := Config{
+			N:           40 + int(seed%40+40)%40, // 40..79
+			Lambda:      0.5 + float64(lamR%12),
+			Mu:          float64(muR % 12),
+			Gamma:       0.25 + float64(gamR%4)*0.5,
+			SegmentSize: 1 + int(sR%10),
+			C:           float64(cR%6) * 0.75,
+			Warmup:      4,
+			Horizon:     12,
+			Seed:        seed,
+		}
+		cfg.BufferCap = 8*cfg.SegmentSize + 60
+		switch churnR % 3 {
+		case 1:
+			cfg.ChurnMeanLifetime = 2
+		case 2:
+			cfg.ChurnMeanLifetime = 8
+		}
+		switch modeR % 3 {
+		case 1:
+			cfg.ServerFeedback = true
+		case 2:
+			cfg.MeanFieldSampling = true
+		}
+		if degR%2 == 1 && !cfg.MeanFieldSampling {
+			cfg.Degree = 3
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Logf("config rejected: %v (%+v)", err, cfg)
+			return false
+		}
+		for _, checkpoint := range []float64{3, 7, 12} {
+			s.RunUntil(checkpoint)
+			if err := s.CheckInvariants(); err != nil {
+				t.Logf("invariant violated: %v (%+v)", err, cfg)
+				return false
+			}
+		}
+		r := s.Result()
+		// Pre-warmup backlog delivered inside the window can push the
+		// normalized rate above 1 when c >> lambda; horizon/window bounds it.
+		bound := cfg.Horizon / (cfg.Horizon - cfg.Warmup)
+		if r.NormalizedThroughput < 0 || r.NormalizedThroughput > bound+0.1 {
+			t.Logf("throughput out of range: %v (bound %v, %+v)", r.NormalizedThroughput, bound, cfg)
+			return false
+		}
+		if r.UsefulPulls+r.RedundantPulls != r.ServerPulls {
+			t.Logf("pull accounting broken: %d + %d != %d", r.UsefulPulls, r.RedundantPulls, r.ServerPulls)
+			return false
+		}
+		if r.InnovativePulls > r.UsefulPulls {
+			t.Logf("innovative pulls %d exceed useful %d", r.InnovativePulls, r.UsefulPulls)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package sim
+
+import "testing"
+
+func TestIndependentServersDeliverLess(t *testing.T) {
+	// Without collaboration, each server must gather s blocks on its own,
+	// so completed-segment throughput drops.
+	base := Config{
+		N: 150, Lambda: 10, Mu: 8, Gamma: 1, SegmentSize: 8,
+		BufferCap: 128, C: 4, NumServers: 4,
+		Warmup: 10, Horizon: 30, Seed: 31,
+	}
+	collab, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indep := base
+	indep.IndependentServers = true
+	solo, err := Run(indep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if solo.DeliveredNormalizedThroughput >= collab.DeliveredNormalizedThroughput {
+		t.Errorf("independent servers delivered %v, collaborating %v",
+			solo.DeliveredNormalizedThroughput, collab.DeliveredNormalizedThroughput)
+	}
+	if solo.DeliveredSegments == 0 {
+		t.Error("independent servers delivered nothing at all")
+	}
+}
+
+func TestIndependentServersInvariants(t *testing.T) {
+	cfg := testConfig()
+	cfg.IndependentServers = true
+	cfg.NumServers = 3
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, checkpoint := range []float64{5, 12, 24} {
+		s.RunUntil(checkpoint)
+		if err := s.CheckInvariants(); err != nil {
+			t.Fatalf("at t=%v: %v", checkpoint, err)
+		}
+	}
+}
+
+func TestSingleIndependentServerEqualsCollaborative(t *testing.T) {
+	// With NumServers == 1 the two modes are the same process; identical
+	// seeds must give identical delivered counts.
+	cfg := testConfig()
+	cfg.NumServers = 1
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.IndependentServers = true
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DeliveredSegments != b.DeliveredSegments {
+		t.Errorf("single-server modes diverge: %d vs %d", a.DeliveredSegments, b.DeliveredSegments)
+	}
+}

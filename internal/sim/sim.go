@@ -1,0 +1,988 @@
+package sim
+
+import (
+	"fmt"
+
+	"p2pcollect/internal/des"
+	"p2pcollect/internal/logdata"
+	"p2pcollect/internal/metrics"
+	"p2pcollect/internal/randx"
+	"p2pcollect/internal/rlnc"
+	"p2pcollect/internal/topology"
+)
+
+// targetRetries bounds the rejection sampling used to pick a gossip target
+// in full-mesh mode.
+const targetRetries = 40
+
+// Simulator runs the indirect-collection protocol as a discrete-event
+// simulation. Construct with New, drive with RunUntil or Run, then read
+// Result.
+type Simulator struct {
+	cfg   Config
+	rng   *randx.Rand
+	clock *des.Sim
+	graph *topology.Graph // nil in full-mesh mode
+	peers []*peerState
+	segs  map[rlnc.SegmentID]*segMeta
+
+	nonEmpty   *indexSet
+	nextPeerID uint64
+
+	// live counters
+	totalBlocks int64
+	saved       int64 // segments with degree >= s and collection state < s
+
+	// accumulated measurements
+	injectedSegments     int64
+	injectedBlocks       int64
+	suppressedInjections int64
+	deliveredInWindow    int64 // state-based (the paper's accounting)
+	usefulInWindow       int64
+	stateDelay           metrics.Summary
+	rankDecodedInWindow  int64 // rank-based (ground truth)
+	innovativeInWindow   int64
+	rankDelay            metrics.Summary
+	blocksPerPeer        metrics.Summary
+	nonEmptyFrac         metrics.Summary
+	savedPerPeer         metrics.Summary
+	lostSegments         int64
+	rankLostSegments     int64
+	serverPulls          int64
+	usefulPulls          int64
+	redundantPulls       int64
+	innovativePulls      int64
+	gossipSends          int64
+	redundantGossip      int64
+	noTargetGossip       int64
+	departures           int64
+	blocksLostToTTL      int64
+	blocksLostToExit     int64
+	orphanedSegments     int64
+	postmortemDelivered  int64
+	purgedByFeedback     int64
+
+	// onDecode, when non-nil, observes every rank-based reconstruction;
+	// onDeliver observes every state-based delivery.
+	onDecode  func(SegmentView)
+	onDeliver func(SegmentView)
+
+	trace []TracePoint
+}
+
+// TracePoint is one sample of the network's transient state. The
+// cumulative pull counters let callers compute windowed collection
+// efficiency between consecutive samples.
+type TracePoint struct {
+	T                    float64 // simulated time
+	E                    float64 // average buffered blocks per peer
+	Z0                   float64 // empty-peer fraction
+	CumServerPulls       int64
+	CumUsefulPulls       int64
+	CumInjectedBlocks    int64
+	CumDeliveredSegments int64
+	Population           int
+}
+
+// peerState is the per-slot state; the slot survives churn, the identity
+// does not.
+type peerState struct {
+	id        uint64
+	gen       uint64 // bumped on replacement to invalidate pending TTLs
+	dead      bool   // departed without replacement; slot inert
+	seq       uint64 // per-identity segment counter
+	holdings  map[rlnc.SegmentID]*rlnc.Holding
+	segIDs    []rlnc.SegmentID
+	segPos    map[rlnc.SegmentID]int
+	occupancy int
+	logGen    *logdata.Generator // payload mode only
+}
+
+// segMeta is the global bookkeeping for one segment: its network degree,
+// the paper's server collection state (a counter advanced on every pull
+// while below s), and the true server-side decoder rank.
+type segMeta struct {
+	id          rlnc.SegmentID
+	injectTime  float64
+	degree      int
+	pullState   int             // collaborating-server collection state
+	perServer   []int           // per-server states (IndependentServers mode)
+	deliveredAt float64         // state reached s; negative until then
+	dec         *rlnc.Decoder   // pooled decoder basis
+	perDec      []*rlnc.Decoder // per-server decoders (IndependentServers mode)
+	decodedAt   float64         // full rank reached; negative until then
+	// originDeparted marks segments whose origin peer left before the
+	// segment was delivered — the "statistics from departed peers" the
+	// paper's introduction argues are the most valuable.
+	originDeparted bool
+}
+
+func (m *segMeta) delivered() bool { return m.deliveredAt >= 0 }
+func (m *segMeta) decoded() bool   { return m.decodedAt >= 0 }
+
+// SegmentView is a read-only snapshot of one live segment's state, exposed
+// for experiment harnesses and tests.
+type SegmentView struct {
+	ID          rlnc.SegmentID
+	Degree      int
+	PullState   int
+	ServerRank  int
+	InjectTime  float64
+	DeliveredAt float64 // negative if collection state below s
+	Delivered   bool
+	DecodedAt   float64 // negative if not yet at full rank
+	Decoded     bool
+}
+
+// New validates the configuration and builds a simulator with all protocol
+// processes scheduled.
+func New(cfg Config) (*Simulator, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Simulator{
+		cfg:      cfg,
+		rng:      randx.New(cfg.Seed),
+		clock:    des.New(),
+		segs:     make(map[rlnc.SegmentID]*segMeta),
+		nonEmpty: newIndexSet(cfg.N),
+	}
+	if cfg.Degree > 0 {
+		g, err := topology.RandomKNeighbor(cfg.N, cfg.Degree, s.rng)
+		if err != nil {
+			return nil, err
+		}
+		s.graph = g
+	}
+	s.peers = make([]*peerState, cfg.N)
+	for i := range s.peers {
+		s.peers[i] = s.newPeer()
+	}
+	for i := 0; i < cfg.N; i++ {
+		s.schedulePeer(i)
+	}
+	if cfg.C > 0 {
+		perServer := cfg.C * float64(cfg.N) / float64(cfg.NumServers)
+		for j := 0; j < cfg.NumServers; j++ {
+			j := j
+			s.clock.After(s.rng.Exp(perServer), func() { s.pullTick(j, perServer) })
+		}
+	}
+	s.clock.After(cfg.SampleInterval, s.sampleTick)
+	return s, nil
+}
+
+// schedulePeer starts the injection, gossip, and lifetime processes for
+// the peer slot pi.
+func (s *Simulator) schedulePeer(pi int) {
+	cfg := s.cfg
+	if cfg.Lambda > 0 {
+		s.clock.After(s.rng.Exp(cfg.Lambda/float64(cfg.SegmentSize)), func() { s.injectTick(pi) })
+	}
+	if cfg.Mu > 0 {
+		s.clock.After(s.rng.Exp(cfg.Mu), func() { s.gossipTick(pi) })
+	}
+	if cfg.ChurnMeanLifetime > 0 {
+		s.clock.After(s.rng.Exp(1/cfg.ChurnMeanLifetime), func() { s.departTick(pi) })
+	}
+}
+
+// AddPeers grows the session by k freshly joined peers, modelling a flash
+// crowd of arrivals: each starts empty, is wired into the overlay, and
+// runs the full protocol from the current time. The logging servers keep
+// the capacity they were provisioned with — that mismatch is the scenario
+// of the paper's introduction. The returned slot indices can later be
+// passed to RemovePeer when the crowd leaves again. Call between RunUntil
+// segments.
+func (s *Simulator) AddPeers(k int) []int {
+	slots := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		pi := len(s.peers)
+		s.peers = append(s.peers, s.newPeer())
+		s.nonEmpty.grow(len(s.peers))
+		if s.graph != nil {
+			s.graph.AddNode(s.cfg.Degree, s.rng)
+		}
+		s.schedulePeer(pi)
+		slots = append(slots, pi)
+	}
+	return slots
+}
+
+// RemovePeer departs the peer in slot pi permanently (no replacement): its
+// buffered blocks vanish, its protocol processes stop, and the slot becomes
+// inert. Removing an already-dead slot is a no-op.
+func (s *Simulator) RemovePeer(pi int) {
+	p := s.peers[pi]
+	if p.dead {
+		return
+	}
+	s.departures++
+	for _, segID := range p.segIDs {
+		n := p.holdings[segID].Len()
+		for k := 0; k < n; k++ {
+			s.blocksLostToExit++
+			s.noteBlockRemoved(segID)
+		}
+	}
+	for _, m := range s.segs {
+		if m.id.Origin == p.id && !m.delivered() && !m.originDeparted {
+			m.originDeparted = true
+			s.orphanedSegments++
+		}
+	}
+	p.gen++ // invalidate pending TTL events
+	p.dead = true
+	p.holdings = make(map[rlnc.SegmentID]*rlnc.Holding)
+	p.segIDs = nil
+	p.segPos = make(map[rlnc.SegmentID]int)
+	p.occupancy = 0
+	s.nonEmpty.remove(pi)
+	if s.graph != nil {
+		for _, v := range append([]int(nil), s.graph.Neighbors(pi)...) {
+			s.graph.RemoveEdge(pi, v)
+		}
+	}
+}
+
+// Population returns the number of live peers in the session.
+func (s *Simulator) Population() int {
+	n := 0
+	for _, p := range s.peers {
+		if !p.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes the whole configured horizon and returns the result.
+func Run(cfg Config) (*Result, error) {
+	s, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.RunUntil(s.cfg.Horizon)
+	return s.Result(), nil
+}
+
+func (s *Simulator) newPeer() *peerState {
+	p := &peerState{
+		id:       s.nextPeerID,
+		holdings: make(map[rlnc.SegmentID]*rlnc.Holding),
+		segPos:   make(map[rlnc.SegmentID]int),
+	}
+	if s.cfg.PayloadLen > 0 {
+		p.logGen = logdata.NewGenerator(p.id, s.rng)
+	}
+	s.nextPeerID++
+	return p
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() float64 { return s.clock.Now() }
+
+// Config returns the (defaulted) configuration of the run.
+func (s *Simulator) Config() Config { return s.cfg }
+
+// RunUntil advances the simulation to the given time.
+func (s *Simulator) RunUntil(t float64) { s.clock.RunUntil(t) }
+
+// OnDecode registers a callback invoked at every rank-based segment
+// reconstruction (the servers can actually decode the payload).
+func (s *Simulator) OnDecode(fn func(SegmentView)) { s.onDecode = fn }
+
+// OnDeliver registers a callback invoked when a segment's collection state
+// reaches s — the paper's delivery event.
+func (s *Simulator) OnDeliver(fn func(SegmentView)) { s.onDeliver = fn }
+
+// StartTrace begins sampling the network state every interval of simulated
+// time, starting now. Samples accumulate until the run ends; read them with
+// TracePoints. Used by the transient-validation experiment.
+func (s *Simulator) StartTrace(interval float64) {
+	if interval <= 0 {
+		panic("sim: non-positive trace interval")
+	}
+	s.recordTrace()
+	var tick func()
+	tick = func() {
+		s.recordTrace()
+		s.clock.After(interval, tick)
+	}
+	s.clock.After(interval, tick)
+}
+
+func (s *Simulator) recordTrace() {
+	pop := s.Population()
+	n := float64(pop)
+	s.trace = append(s.trace, TracePoint{
+		T:                    s.clock.Now(),
+		E:                    float64(s.totalBlocks) / n,
+		Z0:                   1 - float64(s.nonEmpty.len())/n,
+		CumServerPulls:       s.serverPulls,
+		CumUsefulPulls:       s.usefulPulls,
+		CumInjectedBlocks:    s.injectedBlocks,
+		CumDeliveredSegments: s.deliveredInWindow,
+		Population:           pop,
+	})
+}
+
+// TracePoints returns the samples recorded since StartTrace.
+func (s *Simulator) TracePoints() []TracePoint {
+	return append([]TracePoint(nil), s.trace...)
+}
+
+// TotalBlocks returns the number of coded blocks currently buffered across
+// all peers (the edge count E(t) of the bipartite graph).
+func (s *Simulator) TotalBlocks() int64 { return s.totalBlocks }
+
+// LiveSegments returns the number of segments with at least one block in
+// the network.
+func (s *Simulator) LiveSegments() int { return len(s.segs) }
+
+// ForEachSegment calls fn with a view of every live segment.
+func (s *Simulator) ForEachSegment(fn func(SegmentView)) {
+	for _, m := range s.segs {
+		fn(m.view())
+	}
+}
+
+func (m *segMeta) view() SegmentView {
+	return SegmentView{
+		ID:          m.id,
+		Degree:      m.degree,
+		PullState:   m.pullState,
+		ServerRank:  m.dec.Rank(),
+		InjectTime:  m.injectTime,
+		DeliveredAt: m.deliveredAt,
+		Delivered:   m.delivered(),
+		DecodedAt:   m.decodedAt,
+		Decoded:     m.decoded(),
+	}
+}
+
+// --- protocol processes ---
+
+func (s *Simulator) injectTick(pi int) {
+	if s.peers[pi].dead {
+		return // slot departed without replacement; process ends
+	}
+	if s.cfg.InjectUntil > 0 && s.clock.Now() >= s.cfg.InjectUntil {
+		return // session's upload stream has ended; stop the process
+	}
+	s.inject(pi)
+	s.clock.After(s.rng.Exp(s.cfg.Lambda/float64(s.cfg.SegmentSize)), func() { s.injectTick(pi) })
+}
+
+func (s *Simulator) inject(pi int) {
+	p := s.peers[pi]
+	size := s.cfg.SegmentSize
+	if p.occupancy > s.cfg.BufferCap-size {
+		s.suppressedInjections++
+		return
+	}
+	segID := rlnc.SegmentID{Origin: p.id, Seq: p.seq}
+	p.seq++
+	meta := &segMeta{
+		id:          segID,
+		injectTime:  s.clock.Now(),
+		dec:         rlnc.NewDecoder(segID, size, s.cfg.PayloadLen),
+		deliveredAt: -1,
+		decodedAt:   -1,
+	}
+	if s.cfg.IndependentServers {
+		meta.perServer = make([]int, s.cfg.NumServers)
+		meta.perDec = make([]*rlnc.Decoder, s.cfg.NumServers)
+		for j := range meta.perDec {
+			meta.perDec[j] = rlnc.NewDecoder(segID, size, 0)
+		}
+	}
+	s.segs[segID] = meta
+	s.injectedSegments++
+	s.injectedBlocks += int64(size)
+	payloads := s.makePayloads(p, size)
+	for i := 0; i < size; i++ {
+		coeffs := make([]byte, size)
+		coeffs[i] = 1
+		cb := &rlnc.CodedBlock{Seg: segID, Coeffs: coeffs}
+		if payloads != nil {
+			cb.Payload = payloads[i]
+		}
+		if !s.storeBlock(pi, cb) {
+			panic("sim: source block not innovative")
+		}
+	}
+}
+
+// makePayloads builds the s payload blocks for a new segment from the
+// peer's synthetic statistics stream, or returns nil in structure-only mode.
+func (s *Simulator) makePayloads(p *peerState, size int) [][]byte {
+	if s.cfg.PayloadLen == 0 {
+		return nil
+	}
+	payloads := make([][]byte, size)
+	perBlock := s.cfg.PayloadLen / logdata.RecordSize
+	for i := range payloads {
+		block := make([]byte, s.cfg.PayloadLen)
+		for j := 0; j < perBlock; j++ {
+			copy(block[j*logdata.RecordSize:], p.logGen.Next(s.clock.Now()).Marshal())
+		}
+		if perBlock == 0 {
+			s.rng.FillCoefficients(block) // too small for records; opaque data
+		}
+		payloads[i] = block
+	}
+	return payloads
+}
+
+func (s *Simulator) gossipTick(pi int) {
+	if s.peers[pi].dead {
+		return
+	}
+	s.gossip(pi)
+	s.clock.After(s.rng.Exp(s.cfg.Mu), func() { s.gossipTick(pi) })
+}
+
+func (s *Simulator) gossip(pi int) {
+	p := s.peers[pi]
+	if p.occupancy == 0 {
+		return // the (1 − z_0) idle factor of eq. (1)
+	}
+	sender := pi
+	var segID rlnc.SegmentID
+	if s.cfg.MeanFieldSampling {
+		// The ODE's transfer operation: the replicated segment is chosen
+		// with probability deg/E (a uniformly random block network-wide),
+		// re-encoded at whichever peer holds the sampled copy.
+		var ok bool
+		sender, segID, ok = s.sampleEdge()
+		if !ok {
+			return
+		}
+	} else {
+		segID = p.segIDs[s.rng.Intn(len(p.segIDs))]
+	}
+	target := s.pickTarget(sender, segID)
+	if target < 0 {
+		s.noTargetGossip++
+		return
+	}
+	cb := s.peers[sender].holdings[segID].Recode(s.rng)
+	s.gossipSends++
+	if !s.storeBlock(target, cb) {
+		s.redundantGossip++
+	}
+}
+
+// sampleEdge returns a uniformly random (holder, segment) block copy, the
+// degree-proportional sampling of the mean-field analysis. It uses
+// rejection sampling against the buffer cap.
+func (s *Simulator) sampleEdge() (int, rlnc.SegmentID, bool) {
+	if s.totalBlocks == 0 {
+		return 0, rlnc.SegmentID{}, false
+	}
+	for {
+		pi, ok := s.nonEmpty.sample(s.rng)
+		if !ok {
+			return 0, rlnc.SegmentID{}, false
+		}
+		p := s.peers[pi]
+		if s.rng.Float64()*float64(s.cfg.BufferCap) >= float64(p.occupancy) {
+			continue
+		}
+		k := s.rng.Intn(p.occupancy)
+		for _, segID := range p.segIDs {
+			k -= p.holdings[segID].Len()
+			if k < 0 {
+				return pi, segID, true
+			}
+		}
+		panic("sim: occupancy out of sync in sampleEdge")
+	}
+}
+
+// pickTarget selects a peer that still needs blocks of the segment and has
+// buffer room, uniformly at random. In full-mesh mode it uses rejection
+// sampling against the whole population (the mean-field rule of §3); with
+// an overlay it filters the neighbor list.
+func (s *Simulator) pickTarget(pi int, segID rlnc.SegmentID) int {
+	if s.graph == nil {
+		for try := 0; try < targetRetries; try++ {
+			d := s.rng.Choose(len(s.peers), pi)
+			if s.eligibleTarget(d, segID) {
+				return d
+			}
+		}
+		return -1
+	}
+	nbrs := s.graph.Neighbors(pi)
+	candidates := make([]int, 0, len(nbrs))
+	for _, d := range nbrs {
+		if s.eligibleTarget(d, segID) {
+			candidates = append(candidates, d)
+		}
+	}
+	if len(candidates) == 0 {
+		return -1
+	}
+	return candidates[s.rng.Intn(len(candidates))]
+}
+
+func (s *Simulator) eligibleTarget(d int, segID rlnc.SegmentID) bool {
+	pd := s.peers[d]
+	if pd.dead || pd.occupancy >= s.cfg.BufferCap {
+		return false
+	}
+	h := pd.holdings[segID]
+	return h == nil || !h.Full()
+}
+
+func (s *Simulator) pullTick(server int, rate float64) {
+	s.pull(server)
+	s.clock.After(s.rng.Exp(rate), func() { s.pullTick(server, rate) })
+}
+
+func (s *Simulator) pull(server int) {
+	var (
+		pi    int
+		segID rlnc.SegmentID
+		ok    bool
+	)
+	if s.cfg.MeanFieldSampling {
+		pi, segID, ok = s.sampleEdge()
+	} else {
+		pi, ok = s.nonEmpty.sample(s.rng)
+		if ok {
+			p := s.peers[pi]
+			segID = p.segIDs[s.rng.Intn(len(p.segIDs))]
+		}
+	}
+	if !ok {
+		return
+	}
+	cb := s.peers[pi].holdings[segID].Recode(s.rng)
+	s.serverPulls++
+	now := s.clock.Now()
+	meta := s.segs[segID]
+	size := s.cfg.SegmentSize
+
+	// The paper's accounting: every pull on a segment whose collection
+	// state is below s is useful and advances the state (§3). In
+	// independent mode the state is the pulling server's own.
+	state := &meta.pullState
+	if s.cfg.IndependentServers {
+		state = &meta.perServer[server]
+	}
+	if *state < size {
+		*state++
+		s.usefulPulls++
+		if now >= s.cfg.Warmup {
+			s.usefulInWindow++
+		}
+		if *state == size && !meta.delivered() {
+			meta.deliveredAt = now
+			if meta.degree >= size {
+				s.saved--
+			}
+			if meta.originDeparted {
+				s.postmortemDelivered++
+			}
+			if now >= s.cfg.Warmup {
+				s.deliveredInWindow++
+				s.stateDelay.Add(now - meta.injectTime)
+			}
+			if s.onDeliver != nil {
+				s.onDeliver(meta.view())
+			}
+			if s.cfg.ServerFeedback {
+				s.purgeSegment(meta.id)
+			}
+		}
+	} else {
+		s.redundantPulls++
+	}
+
+	// Ground-truth accounting: the coded block actually received.
+	dec := meta.dec
+	if s.cfg.IndependentServers {
+		dec = meta.perDec[server]
+		// The pooled decoder still tracks the union for LostSegments
+		// semantics; in independent mode only the per-server basis counts
+		// for decode metrics.
+		rankCopy := &rlnc.CodedBlock{Seg: cb.Seg, Coeffs: append([]byte(nil), cb.Coeffs...)}
+		if _, err := meta.dec.Add(rankCopy); err != nil {
+			panic(fmt.Sprintf("sim: pooled decode: %v", err))
+		}
+	}
+	innovative, err := dec.Add(cb)
+	if err != nil {
+		panic(fmt.Sprintf("sim: server decode: %v", err))
+	}
+	if !innovative {
+		return
+	}
+	s.innovativePulls++
+	if now >= s.cfg.Warmup {
+		s.innovativeInWindow++
+	}
+	if dec.Complete() && !meta.decoded() {
+		meta.decodedAt = now
+		if now >= s.cfg.Warmup {
+			s.rankDecodedInWindow++
+			s.rankDelay.Add(now - meta.injectTime)
+		}
+		if s.onDecode != nil {
+			s.onDecode(meta.view())
+		}
+	}
+}
+
+func (s *Simulator) departTick(pi int) {
+	if s.peers[pi].dead {
+		return
+	}
+	s.depart(pi)
+	s.clock.After(s.rng.Exp(1/s.cfg.ChurnMeanLifetime), func() { s.departTick(pi) })
+}
+
+// depart implements the replacement model: the peer's buffered blocks
+// vanish and a fresh peer instantly takes the slot.
+func (s *Simulator) depart(pi int) {
+	p := s.peers[pi]
+	s.departures++
+	for _, m := range s.segs {
+		if m.id.Origin == p.id && !m.delivered() && !m.originDeparted {
+			m.originDeparted = true
+			s.orphanedSegments++
+		}
+	}
+	for _, segID := range p.segIDs {
+		n := p.holdings[segID].Len()
+		for k := 0; k < n; k++ {
+			s.blocksLostToExit++
+			s.noteBlockRemoved(segID)
+		}
+	}
+	p.gen++
+	gen := p.gen
+	fresh := s.newPeer()
+	fresh.gen = gen
+	s.peers[pi] = fresh
+	s.nonEmpty.remove(pi)
+	if s.graph != nil {
+		s.graph.ReplaceNode(pi, s.cfg.Degree, s.rng)
+	}
+}
+
+func (s *Simulator) sampleTick() {
+	if s.clock.Now() >= s.cfg.Warmup {
+		n := float64(s.Population())
+		s.blocksPerPeer.Add(float64(s.totalBlocks) / n)
+		s.nonEmptyFrac.Add(float64(s.nonEmpty.len()) / n)
+		s.savedPerPeer.Add(float64(s.saved) * float64(s.cfg.SegmentSize) / n)
+	}
+	s.clock.After(s.cfg.SampleInterval, s.sampleTick)
+}
+
+// --- block bookkeeping ---
+
+// storeBlock files cb into peer pi's buffer. It returns false when the
+// block was not innovative there (and is therefore discarded).
+func (s *Simulator) storeBlock(pi int, cb *rlnc.CodedBlock) bool {
+	p := s.peers[pi]
+	h := p.holdings[cb.Seg]
+	if h == nil {
+		h = rlnc.NewHolding(cb.Seg, s.cfg.SegmentSize)
+		p.holdings[cb.Seg] = h
+		p.segPos[cb.Seg] = len(p.segIDs)
+		p.segIDs = append(p.segIDs, cb.Seg)
+	}
+	if !h.Add(cb) {
+		if h.Len() == 0 {
+			s.dropHolding(p, cb.Seg)
+		}
+		return false
+	}
+	p.occupancy++
+	if p.occupancy == 1 {
+		s.nonEmpty.add(pi)
+	}
+	s.totalBlocks++
+	meta := s.segs[cb.Seg]
+	meta.degree++
+	if meta.degree == s.cfg.SegmentSize && !meta.delivered() {
+		s.saved++
+	}
+	gen := p.gen
+	s.clock.After(s.rng.Exp(s.cfg.Gamma), func() { s.expireBlock(pi, gen, cb) })
+	return true
+}
+
+// expireBlock is the TTL process for one stored block copy.
+func (s *Simulator) expireBlock(pi int, gen uint64, cb *rlnc.CodedBlock) {
+	p := s.peers[pi]
+	if p.gen != gen {
+		return // the peer that held this copy has departed
+	}
+	h := p.holdings[cb.Seg]
+	if h == nil || !h.RemoveBlock(cb) {
+		return
+	}
+	s.blocksLostToTTL++
+	if h.Len() == 0 {
+		s.dropHolding(p, cb.Seg)
+	}
+	p.occupancy--
+	if p.occupancy == 0 {
+		s.nonEmpty.remove(pi)
+	}
+	s.noteBlockRemoved(cb.Seg)
+}
+
+// dropHolding unregisters an empty holding from the peer's sampling list.
+func (s *Simulator) dropHolding(p *peerState, segID rlnc.SegmentID) {
+	pos := p.segPos[segID]
+	last := len(p.segIDs) - 1
+	moved := p.segIDs[last]
+	p.segIDs[pos] = moved
+	p.segPos[moved] = pos
+	p.segIDs = p.segIDs[:last]
+	delete(p.segPos, segID)
+	delete(p.holdings, segID)
+}
+
+// purgeSegment implements the ServerFeedback extension: every peer evicts
+// its blocks of the just-delivered segment, freeing buffer space and pull
+// capacity for undelivered data. The pending TTL events become no-ops.
+func (s *Simulator) purgeSegment(segID rlnc.SegmentID) {
+	for pi, p := range s.peers {
+		h := p.holdings[segID]
+		if h == nil {
+			continue
+		}
+		n := h.Len()
+		s.dropHolding(p, segID)
+		p.occupancy -= n
+		if p.occupancy == 0 {
+			s.nonEmpty.remove(pi)
+		}
+		for k := 0; k < n; k++ {
+			s.purgedByFeedback++
+			s.noteBlockRemoved(segID)
+		}
+	}
+}
+
+// noteBlockRemoved updates the global degree bookkeeping after one block
+// copy left the network (TTL or departure).
+func (s *Simulator) noteBlockRemoved(segID rlnc.SegmentID) {
+	meta := s.segs[segID]
+	if meta.degree == s.cfg.SegmentSize && !meta.delivered() {
+		s.saved--
+	}
+	meta.degree--
+	s.totalBlocks--
+	if meta.degree == 0 {
+		if !meta.delivered() {
+			s.lostSegments++
+		}
+		if !meta.decoded() {
+			s.rankLostSegments++
+		}
+		delete(s.segs, segID)
+	}
+}
+
+// Result assembles the run's measurements.
+func (s *Simulator) Result() *Result {
+	window := s.clock.Now() - s.cfg.Warmup
+	r := &Result{
+		Config:                 s.cfg,
+		Window:                 window,
+		InjectedSegments:       s.injectedSegments,
+		InjectedBlocks:         s.injectedBlocks,
+		SuppressedInjections:   s.suppressedInjections,
+		DeliveredSegments:      s.deliveredInWindow,
+		UsefulPulls:            s.usefulPulls,
+		RankDecodedSegments:    s.rankDecodedInWindow,
+		InnovativePulls:        s.innovativePulls,
+		LostSegments:           s.lostSegments,
+		RankLostSegments:       s.rankLostSegments,
+		ServerPulls:            s.serverPulls,
+		RedundantPulls:         s.redundantPulls,
+		GossipSends:            s.gossipSends,
+		RedundantGossip:        s.redundantGossip,
+		NoTargetGossip:         s.noTargetGossip,
+		Departures:             s.departures,
+		BlocksLostToTTL:        s.blocksLostToTTL,
+		BlocksLostToExit:       s.blocksLostToExit,
+		OrphanedSegments:       s.orphanedSegments,
+		PostmortemDelivered:    s.postmortemDelivered,
+		BlocksPurgedByFeedback: s.purgedByFeedback,
+	}
+	if window > 0 {
+		r.Throughput = float64(s.usefulInWindow) / window
+		r.RankThroughput = float64(s.innovativeInWindow) / window
+		deliveredRate := float64(s.deliveredInWindow) * float64(s.cfg.SegmentSize) / window
+		if s.cfg.Lambda > 0 {
+			denom := float64(s.cfg.N) * s.cfg.Lambda
+			r.NormalizedThroughput = r.Throughput / denom
+			r.RankNormalizedThroughput = r.RankThroughput / denom
+			r.DeliveredNormalizedThroughput = deliveredRate / denom
+		}
+	}
+	if s.stateDelay.N() > 0 {
+		r.MeanSegmentDelay = s.stateDelay.Mean()
+		r.MeanBlockDelay = r.MeanSegmentDelay / float64(s.cfg.SegmentSize)
+	}
+	if s.rankDelay.N() > 0 {
+		r.MeanRankBlockDelay = s.rankDelay.Mean() / float64(s.cfg.SegmentSize)
+	}
+	if s.blocksPerPeer.N() > 0 {
+		r.AvgBlocksPerPeer = s.blocksPerPeer.Mean()
+		r.AvgNonEmptyFrac = s.nonEmptyFrac.Mean()
+		r.SavedPerPeer = s.savedPerPeer.Mean()
+		r.StorageOverhead = r.AvgBlocksPerPeer - s.cfg.Lambda/s.cfg.Gamma
+	}
+	return r
+}
+
+// CheckInvariants verifies the internal bookkeeping against a full recount
+// and returns the first inconsistency. Tests call it mid-run.
+func (s *Simulator) CheckInvariants() error {
+	var total int64
+	degrees := make(map[rlnc.SegmentID]int)
+	var saved int64
+	for pi, p := range s.peers {
+		if p.dead {
+			if p.occupancy != 0 || len(p.holdings) != 0 || s.nonEmpty.contains(pi) {
+				return fmt.Errorf("dead peer %d retains state", pi)
+			}
+			continue
+		}
+		var occ int
+		for segID, h := range p.holdings {
+			if h.Len() == 0 {
+				return fmt.Errorf("peer %d holds empty holding for %v", pi, segID)
+			}
+			if h.Len() > s.cfg.SegmentSize {
+				return fmt.Errorf("peer %d holds %d blocks of %v, cap %d", pi, h.Len(), segID, s.cfg.SegmentSize)
+			}
+			if _, ok := p.segPos[segID]; !ok {
+				return fmt.Errorf("peer %d holding %v missing from sampling list", pi, segID)
+			}
+			occ += h.Len()
+			degrees[segID] += h.Len()
+		}
+		if occ != p.occupancy {
+			return fmt.Errorf("peer %d occupancy %d, recount %d", pi, p.occupancy, occ)
+		}
+		if occ > s.cfg.BufferCap {
+			return fmt.Errorf("peer %d over buffer cap: %d", pi, occ)
+		}
+		if len(p.segIDs) != len(p.holdings) {
+			return fmt.Errorf("peer %d sampling list length %d, holdings %d", pi, len(p.segIDs), len(p.holdings))
+		}
+		if (occ > 0) != s.nonEmpty.contains(pi) {
+			return fmt.Errorf("peer %d non-empty set membership wrong (occ=%d)", pi, occ)
+		}
+		total += int64(occ)
+	}
+	if total != s.totalBlocks {
+		return fmt.Errorf("totalBlocks %d, recount %d", s.totalBlocks, total)
+	}
+	for segID, meta := range s.segs {
+		if degrees[segID] != meta.degree {
+			return fmt.Errorf("segment %v degree %d, recount %d", segID, meta.degree, degrees[segID])
+		}
+		if meta.degree == 0 {
+			return fmt.Errorf("segment %v live with degree 0", segID)
+		}
+		if meta.degree >= s.cfg.SegmentSize && !meta.delivered() {
+			saved++
+		}
+		if meta.pullState > s.cfg.SegmentSize {
+			return fmt.Errorf("segment %v pull state %d above s", segID, meta.pullState)
+		}
+		if s.cfg.IndependentServers {
+			if meta.pullState != 0 {
+				return fmt.Errorf("segment %v collaborative state %d in independent mode", segID, meta.pullState)
+			}
+			for j, st := range meta.perServer {
+				if st > s.cfg.SegmentSize {
+					return fmt.Errorf("segment %v server %d state %d above s", segID, j, st)
+				}
+				if meta.perDec[j].Rank() > st && st < s.cfg.SegmentSize {
+					return fmt.Errorf("segment %v server %d rank %d exceeds state %d", segID, j, meta.perDec[j].Rank(), st)
+				}
+			}
+		} else if meta.dec.Rank() > meta.pullState && meta.pullState < s.cfg.SegmentSize {
+			// Every pull feeds both accountings, and a pull can advance rank
+			// only if it advanced the state counter (state saturates first).
+			return fmt.Errorf("segment %v rank %d exceeds pull state %d", segID, meta.dec.Rank(), meta.pullState)
+		}
+	}
+	for segID := range degrees {
+		if _, ok := s.segs[segID]; !ok && degrees[segID] > 0 {
+			return fmt.Errorf("segment %v has blocks but no metadata", segID)
+		}
+	}
+	if saved != s.saved {
+		return fmt.Errorf("saved %d, recount %d", s.saved, saved)
+	}
+	return nil
+}
+
+// indexSet is a constant-time add/remove/sample set over [0, n).
+type indexSet struct {
+	items []int
+	pos   []int
+}
+
+func newIndexSet(n int) *indexSet {
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = -1
+	}
+	return &indexSet{pos: pos}
+}
+
+func (s *indexSet) len() int { return len(s.items) }
+
+// grow extends the index domain to [0, n).
+func (s *indexSet) grow(n int) {
+	for len(s.pos) < n {
+		s.pos = append(s.pos, -1)
+	}
+}
+
+func (s *indexSet) contains(i int) bool { return s.pos[i] >= 0 }
+
+func (s *indexSet) add(i int) {
+	if s.pos[i] >= 0 {
+		return
+	}
+	s.pos[i] = len(s.items)
+	s.items = append(s.items, i)
+}
+
+func (s *indexSet) remove(i int) {
+	p := s.pos[i]
+	if p < 0 {
+		return
+	}
+	last := len(s.items) - 1
+	moved := s.items[last]
+	s.items[p] = moved
+	s.pos[moved] = p
+	s.items = s.items[:last]
+	s.pos[i] = -1
+}
+
+func (s *indexSet) sample(rng *randx.Rand) (int, bool) {
+	if len(s.items) == 0 {
+		return 0, false
+	}
+	return s.items[rng.Intn(len(s.items))], true
+}

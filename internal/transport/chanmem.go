@@ -1,0 +1,127 @@
+package transport
+
+import (
+	"sync"
+)
+
+// defaultInboxSize buffers bursts on the in-memory network. Overflow drops
+// the message (the protocol tolerates loss), counted per endpoint.
+const defaultInboxSize = 256
+
+// Network is an in-memory message fabric connecting channel transports. It
+// is safe for concurrent use.
+type Network struct {
+	mu     sync.RWMutex
+	inbox  map[NodeID]chan *Message
+	closed map[NodeID]bool
+	drops  map[NodeID]int64
+}
+
+// NewNetwork returns an empty in-memory network.
+func NewNetwork() *Network {
+	return &Network{
+		inbox:  make(map[NodeID]chan *Message),
+		closed: make(map[NodeID]bool),
+		drops:  make(map[NodeID]int64),
+	}
+}
+
+// Join registers id and returns its transport endpoint. Joining an id twice
+// replaces the previous endpoint's mailbox.
+func (n *Network) Join(id NodeID) Transport {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ch := make(chan *Message, defaultInboxSize)
+	n.inbox[id] = ch
+	n.closed[id] = false
+	return &chanTransport{net: n, id: id, inbox: ch}
+}
+
+// Drops returns how many messages destined to id were discarded because its
+// inbox was full.
+func (n *Network) Drops(id NodeID) int64 {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	return n.drops[id]
+}
+
+// deliver enqueues m for its destination, dropping on backpressure. The
+// read lock is held across the (non-blocking) send so leave cannot close
+// the mailbox mid-send.
+func (n *Network) deliver(m *Message) error {
+	n.mu.RLock()
+	ch, ok := n.inbox[m.To]
+	if !ok {
+		n.mu.RUnlock()
+		return ErrUnknownNode
+	}
+	if n.closed[m.To] {
+		n.mu.RUnlock()
+		return nil // destination gone; the network silently eats it
+	}
+	dropped := false
+	select {
+	case ch <- m:
+	default:
+		dropped = true
+	}
+	n.mu.RUnlock()
+	if dropped {
+		n.mu.Lock()
+		n.drops[m.To]++
+		n.mu.Unlock()
+	}
+	return nil
+}
+
+// leave marks id closed and closes its mailbox.
+func (n *Network) leave(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed[id] {
+		return
+	}
+	n.closed[id] = true
+	close(n.inbox[id])
+}
+
+// chanTransport is one endpoint of a Network.
+type chanTransport struct {
+	net   *Network
+	id    NodeID
+	inbox chan *Message
+
+	mu     sync.Mutex
+	closed bool
+}
+
+var _ Transport = (*chanTransport)(nil)
+
+func (t *chanTransport) LocalID() NodeID { return t.id }
+
+func (t *chanTransport) Send(to NodeID, m *Message) error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	cp := *m
+	cp.From = t.id
+	cp.To = to
+	return t.net.deliver(&cp)
+}
+
+func (t *chanTransport) Receive() <-chan *Message { return t.inbox }
+
+func (t *chanTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	t.net.leave(t.id)
+	return nil
+}

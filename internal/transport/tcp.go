@@ -1,0 +1,205 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"sync"
+)
+
+// TCPTransport carries protocol frames over TCP connections. Each node
+// listens on one address and dials peers lazily from an address book.
+// Sending is best-effort: a broken connection drops the message and the
+// connection; the next send re-dials.
+type TCPTransport struct {
+	id       NodeID
+	listener net.Listener
+	inbox    chan *Message
+
+	mu       sync.Mutex
+	book     map[NodeID]string
+	conns    map[NodeID]*tcpConn
+	accepted map[net.Conn]struct{}
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+var _ Transport = (*TCPTransport)(nil)
+
+// tcpConn serializes writes on one outgoing connection.
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// ListenTCP starts a transport for id on addr (use ":0" for an ephemeral
+// port) with the given address book mapping node IDs to dialable addresses.
+// The book is copied; add later routes with AddRoute.
+func ListenTCP(id NodeID, addr string, book map[NodeID]string) (*TCPTransport, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	t := &TCPTransport{
+		id:       id,
+		listener: ln,
+		inbox:    make(chan *Message, defaultInboxSize),
+		book:     make(map[NodeID]string, len(book)),
+		conns:    make(map[NodeID]*tcpConn),
+		accepted: make(map[net.Conn]struct{}),
+	}
+	for k, v := range book {
+		t.book[k] = v
+	}
+	t.wg.Add(1)
+	go t.acceptLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address.
+func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
+
+// AddRoute registers or replaces the dialable address for a node.
+func (t *TCPTransport) AddRoute(id NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.book[id] = addr
+}
+
+// LocalID returns the node this transport serves.
+func (t *TCPTransport) LocalID() NodeID { return t.id }
+
+// Receive returns the incoming message channel. It is closed on Close.
+func (t *TCPTransport) Receive() <-chan *Message { return t.inbox }
+
+// Send writes m to the node's connection, dialing if necessary. Transient
+// write failures drop the message (and the connection) without error, like
+// the loss-tolerant protocol expects; unknown destinations and use after
+// Close are reported.
+func (t *TCPTransport) Send(to NodeID, m *Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	c := t.conns[to]
+	addr, known := t.book[to]
+	t.mu.Unlock()
+	if c == nil {
+		if !known {
+			return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil // destination down; drop like a lost datagram
+		}
+		c = &tcpConn{conn: conn}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return ErrClosed
+		}
+		if existing := t.conns[to]; existing != nil {
+			t.mu.Unlock()
+			conn.Close()
+			c = existing
+		} else {
+			t.conns[to] = c
+			t.mu.Unlock()
+		}
+	}
+	cp := *m
+	cp.From = t.id
+	cp.To = to
+	c.mu.Lock()
+	err := WriteFrame(c.conn, &cp)
+	c.mu.Unlock()
+	if err != nil {
+		t.dropConn(to, c)
+	}
+	return nil
+}
+
+// Close shuts the listener and all connections down and closes the inbox
+// once every reader goroutine has exited.
+func (t *TCPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	conns := t.conns
+	t.conns = make(map[NodeID]*tcpConn)
+	accepted := t.accepted
+	t.accepted = make(map[net.Conn]struct{})
+	t.mu.Unlock()
+
+	t.listener.Close()
+	for _, c := range conns {
+		c.conn.Close()
+	}
+	for conn := range accepted {
+		conn.Close()
+	}
+	t.wg.Wait()
+	close(t.inbox)
+	return nil
+}
+
+func (t *TCPTransport) dropConn(to NodeID, c *tcpConn) {
+	t.mu.Lock()
+	if t.conns[to] == c {
+		delete(t.conns, to)
+	}
+	t.mu.Unlock()
+	c.conn.Close()
+}
+
+func (t *TCPTransport) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.accepted[conn] = struct{}{}
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+func (t *TCPTransport) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.accepted, conn)
+		t.mu.Unlock()
+	}()
+	for {
+		m, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		t.mu.Lock()
+		closed := t.closed
+		t.mu.Unlock()
+		if closed {
+			return
+		}
+		select {
+		case t.inbox <- m:
+		default:
+			// Backpressure: drop, matching the loss-tolerant protocol.
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package transport carries the live runtime's protocol messages between
+// nodes: gossip block pushes, segment-complete notices, and server pull
+// request/response pairs. Two implementations are provided — an in-memory
+// channel network for tests and single-process deployments, and a TCP
+// transport with a length-prefixed binary wire format.
+package transport
+
+import (
+	"errors"
+	"fmt"
+
+	"p2pcollect/internal/rlnc"
+)
+
+// NodeID identifies a node (peer or logging server) network-wide.
+type NodeID uint64
+
+// MsgType enumerates the protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	// MsgBlock pushes one coded block (gossip, or a pull response carrying
+	// data).
+	MsgBlock MsgType = iota + 1
+	// MsgSegmentComplete tells neighbors the sender holds s independent
+	// blocks of a segment and needs no more of it.
+	MsgSegmentComplete
+	// MsgPullRequest asks a peer for one re-encoded block of a random
+	// buffered segment.
+	MsgPullRequest
+	// MsgEmpty answers a pull when the peer's buffer is empty.
+	MsgEmpty
+)
+
+// String names the message type for logs.
+func (t MsgType) String() string {
+	switch t {
+	case MsgBlock:
+		return "block"
+	case MsgSegmentComplete:
+		return "segment-complete"
+	case MsgPullRequest:
+		return "pull-request"
+	case MsgEmpty:
+		return "empty"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// Message is one protocol datagram.
+type Message struct {
+	Type MsgType
+	From NodeID
+	To   NodeID
+	// Seg is set for MsgSegmentComplete.
+	Seg rlnc.SegmentID
+	// Block is set for MsgBlock.
+	Block *rlnc.CodedBlock
+}
+
+// ErrClosed is returned by Send after the transport was closed.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnknownNode is returned when sending to a node the transport cannot
+// resolve.
+var ErrUnknownNode = errors.New("transport: unknown node")
+
+// Transport moves messages for one local node. Implementations must be safe
+// for concurrent use.
+//
+// Send is best-effort, mirroring the protocol's tolerance for loss: a
+// message may be dropped under backpressure without error. Receive returns
+// the incoming channel, closed when the transport shuts down.
+type Transport interface {
+	LocalID() NodeID
+	Send(to NodeID, m *Message) error
+	Receive() <-chan *Message
+	Close() error
+}

@@ -1,0 +1,314 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"p2pcollect/internal/rlnc"
+)
+
+func sampleBlockMessage() *Message {
+	return &Message{
+		Type: MsgBlock,
+		From: 3,
+		To:   7,
+		Block: &rlnc.CodedBlock{
+			Seg:     rlnc.SegmentID{Origin: 3, Seq: 42},
+			Coeffs:  []byte{1, 0, 2, 255},
+			Payload: []byte("vital statistics"),
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		msg  *Message
+	}{
+		{"block", sampleBlockMessage()},
+		{"block no payload", &Message{
+			Type:  MsgBlock,
+			From:  1,
+			To:    2,
+			Block: &rlnc.CodedBlock{Seg: rlnc.SegmentID{Origin: 1, Seq: 1}, Coeffs: []byte{9}},
+		}},
+		{"segment complete", &Message{Type: MsgSegmentComplete, From: 5, To: 6, Seg: rlnc.SegmentID{Origin: 5, Seq: 10}}},
+		{"pull request", &Message{Type: MsgPullRequest, From: 100, To: 4}},
+		{"empty", &Message{Type: MsgEmpty, From: 4, To: 100}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			frame, err := EncodeMessage(tt.msg)
+			if err != nil {
+				t.Fatalf("Encode: %v", err)
+			}
+			got, err := DecodeMessage(frame[4:])
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if got.Type != tt.msg.Type || got.From != tt.msg.From || got.To != tt.msg.To {
+				t.Errorf("header mismatch: %+v vs %+v", got, tt.msg)
+			}
+			if tt.msg.Type == MsgSegmentComplete && got.Seg != tt.msg.Seg {
+				t.Errorf("Seg = %v, want %v", got.Seg, tt.msg.Seg)
+			}
+			if tt.msg.Block != nil {
+				if got.Block == nil {
+					t.Fatal("block lost in transit")
+				}
+				if got.Block.Seg != tt.msg.Block.Seg ||
+					!bytes.Equal(got.Block.Coeffs, tt.msg.Block.Coeffs) ||
+					!bytes.Equal(got.Block.Payload, tt.msg.Block.Payload) {
+					t.Errorf("block mismatch: %+v vs %+v", got.Block, tt.msg.Block)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	tests := []struct {
+		name string
+		body []byte
+	}{
+		{"short", []byte{1, 2}},
+		{"unknown type", append([]byte{99}, make([]byte, 16)...)},
+		{"truncated block", append([]byte{byte(MsgBlock)}, make([]byte, 16)...)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := DecodeMessage(tt.body); err == nil {
+				t.Error("garbage decoded without error")
+			}
+		})
+	}
+}
+
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(origin, seq uint64, coeffs, payload []byte) bool {
+		if len(coeffs) == 0 {
+			coeffs = []byte{1}
+		}
+		m := &Message{
+			Type: MsgBlock,
+			From: NodeID(origin),
+			To:   NodeID(seq),
+			Block: &rlnc.CodedBlock{
+				Seg:     rlnc.SegmentID{Origin: origin, Seq: seq},
+				Coeffs:  coeffs,
+				Payload: payload,
+			},
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			return false
+		}
+		return got.Block.Seg == m.Block.Seg &&
+			bytes.Equal(got.Block.Coeffs, coeffs) &&
+			bytes.Equal(got.Block.Payload, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadFrameRejectsOversize(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversize frame accepted")
+	}
+}
+
+func recvWithTimeout(t *testing.T, ch <-chan *Message) *Message {
+	t.Helper()
+	select {
+	case m, ok := <-ch:
+		if !ok {
+			t.Fatal("channel closed")
+		}
+		return m
+	case <-time.After(5 * time.Second):
+		t.Fatal("timed out waiting for message")
+		return nil
+	}
+}
+
+func TestChanNetworkDelivery(t *testing.T) {
+	net := NewNetwork()
+	a := net.Join(1)
+	b := net.Join(2)
+	if err := a.Send(2, sampleBlockMessage()); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got := recvWithTimeout(t, b.Receive())
+	if got.From != 1 || got.To != 2 {
+		t.Errorf("addressing: from=%d to=%d", got.From, got.To)
+	}
+	if got.Block == nil || got.Block.Seg.Seq != 42 {
+		t.Errorf("payload lost: %+v", got)
+	}
+}
+
+func TestChanNetworkUnknownDestination(t *testing.T) {
+	net := NewNetwork()
+	a := net.Join(1)
+	if err := a.Send(99, &Message{Type: MsgEmpty}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestChanNetworkDropOnBackpressure(t *testing.T) {
+	net := NewNetwork()
+	a := net.Join(1)
+	net.Join(2) // never drained
+	for i := 0; i < defaultInboxSize+10; i++ {
+		if err := a.Send(2, &Message{Type: MsgEmpty}); err != nil {
+			t.Fatalf("Send %d: %v", i, err)
+		}
+	}
+	if net.Drops(2) != 10 {
+		t.Errorf("Drops = %d, want 10", net.Drops(2))
+	}
+}
+
+func TestChanTransportClose(t *testing.T) {
+	net := NewNetwork()
+	a := net.Join(1)
+	b := net.Join(2)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Errorf("double close: %v", err)
+	}
+	// Receive channel must be closed.
+	if _, ok := <-b.Receive(); ok {
+		t.Error("message delivered after close")
+	}
+	// Sending to a closed endpoint is silently absorbed.
+	if err := a.Send(2, &Message{Type: MsgEmpty}); err != nil {
+		t.Errorf("send to closed endpoint: %v", err)
+	}
+	if err := b.Send(1, &Message{Type: MsgEmpty}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send from closed endpoint: %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(2, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	a.AddRoute(2, b.Addr())
+	b.AddRoute(1, a.Addr())
+
+	if err := a.Send(2, sampleBlockMessage()); err != nil {
+		t.Fatalf("Send: %v", err)
+	}
+	got := recvWithTimeout(t, b.Receive())
+	if got.From != 1 || got.Block == nil || got.Block.Seg.Seq != 42 {
+		t.Errorf("bad delivery: %+v", got)
+	}
+	// And back the other way.
+	if err := b.Send(1, &Message{Type: MsgPullRequest}); err != nil {
+		t.Fatalf("Send back: %v", err)
+	}
+	reply := recvWithTimeout(t, a.Receive())
+	if reply.Type != MsgPullRequest || reply.From != 2 {
+		t.Errorf("bad reply: %+v", reply)
+	}
+}
+
+func TestTCPUnknownRoute(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(9, &Message{Type: MsgEmpty}); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("err = %v, want ErrUnknownNode", err)
+	}
+}
+
+func TestTCPSendToDownNodeDrops(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", map[NodeID]string{2: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(2, &Message{Type: MsgEmpty}); err != nil {
+		t.Errorf("send to down node: %v, want silent drop", err)
+	}
+}
+
+func TestTCPCloseIsClean(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ListenTCP(2, "127.0.0.1:0", map[NodeID]string{1: a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Open a live connection b → a, then close both sides.
+	if err := b.Send(1, &Message{Type: MsgEmpty}); err != nil {
+		t.Fatal(err)
+	}
+	recvWithTimeout(t, a.Receive())
+	done := make(chan struct{})
+	go func() {
+		b.Close()
+		a.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung")
+	}
+	if err := a.Send(2, &Message{Type: MsgEmpty}); !errors.Is(err, ErrClosed) {
+		t.Errorf("send after close: %v", err)
+	}
+}
+
+func TestTCPManyMessagesInOrder(t *testing.T) {
+	a, err := ListenTCP(1, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenTCP(2, "127.0.0.1:0", map[NodeID]string{1: a.Addr()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	const n = 100
+	go func() {
+		for i := 0; i < n; i++ {
+			b.Send(1, &Message{
+				Type: MsgSegmentComplete,
+				Seg:  rlnc.SegmentID{Origin: 2, Seq: uint64(i)},
+			})
+		}
+	}()
+	for i := 0; i < n; i++ {
+		m := recvWithTimeout(t, a.Receive())
+		if m.Seg.Seq != uint64(i) {
+			t.Fatalf("message %d arrived with seq %d (single-conn TCP must preserve order)", i, m.Seg.Seq)
+		}
+	}
+}

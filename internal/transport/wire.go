@@ -1,0 +1,185 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"p2pcollect/internal/rlnc"
+)
+
+// Wire format: every frame is
+//
+//	u32 bodyLen | body
+//
+// where body is
+//
+//	u8 type | u64 from | u64 to | type-specific payload
+//
+// MsgBlock payload:           u64 origin | u64 seq | u32 coeffLen | coeffs |
+//	                           u32 payloadLen | payload
+// MsgSegmentComplete payload: u64 origin | u64 seq
+// MsgPullRequest payload:     (empty)
+// MsgEmpty payload:           (empty)
+
+// maxFrameSize bounds a frame to guard against corrupt length prefixes.
+const maxFrameSize = 16 << 20
+
+// headerLen is the fixed body prefix: type + from + to.
+const headerLen = 1 + 8 + 8
+
+// EncodeMessage serializes m into a self-contained frame.
+func EncodeMessage(m *Message) ([]byte, error) {
+	body := make([]byte, headerLen, headerLen+64)
+	body[0] = byte(m.Type)
+	binary.BigEndian.PutUint64(body[1:], uint64(m.From))
+	binary.BigEndian.PutUint64(body[9:], uint64(m.To))
+	switch m.Type {
+	case MsgBlock:
+		if m.Block == nil {
+			return nil, fmt.Errorf("transport: %v without block", m.Type)
+		}
+		body = appendUint64(body, m.Block.Seg.Origin)
+		body = appendUint64(body, m.Block.Seg.Seq)
+		body = appendBytes(body, m.Block.Coeffs)
+		body = appendBytes(body, m.Block.Payload)
+	case MsgSegmentComplete:
+		body = appendUint64(body, m.Seg.Origin)
+		body = appendUint64(body, m.Seg.Seq)
+	case MsgPullRequest, MsgEmpty:
+		// No payload.
+	default:
+		return nil, fmt.Errorf("transport: cannot encode %v", m.Type)
+	}
+	frame := make([]byte, 4+len(body))
+	binary.BigEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	return frame, nil
+}
+
+// DecodeMessage parses a frame body (without the length prefix).
+func DecodeMessage(body []byte) (*Message, error) {
+	if len(body) < headerLen {
+		return nil, fmt.Errorf("transport: short body (%d bytes)", len(body))
+	}
+	m := &Message{
+		Type: MsgType(body[0]),
+		From: NodeID(binary.BigEndian.Uint64(body[1:])),
+		To:   NodeID(binary.BigEndian.Uint64(body[9:])),
+	}
+	rest := body[headerLen:]
+	switch m.Type {
+	case MsgBlock:
+		var origin, seq uint64
+		var err error
+		if origin, rest, err = readUint64(rest); err != nil {
+			return nil, err
+		}
+		if seq, rest, err = readUint64(rest); err != nil {
+			return nil, err
+		}
+		var coeffs, payload []byte
+		if coeffs, rest, err = readBytes(rest); err != nil {
+			return nil, err
+		}
+		if payload, rest, err = readBytes(rest); err != nil {
+			return nil, err
+		}
+		if len(coeffs) == 0 {
+			return nil, fmt.Errorf("transport: block frame with no coefficients")
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("transport: %d trailing bytes", len(rest))
+		}
+		m.Block = &rlnc.CodedBlock{
+			Seg:     rlnc.SegmentID{Origin: origin, Seq: seq},
+			Coeffs:  coeffs,
+			Payload: payload,
+		}
+		m.Seg = m.Block.Seg
+	case MsgSegmentComplete:
+		var origin, seq uint64
+		var err error
+		if origin, rest, err = readUint64(rest); err != nil {
+			return nil, err
+		}
+		if seq, rest, err = readUint64(rest); err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("transport: %d trailing bytes", len(rest))
+		}
+		m.Seg = rlnc.SegmentID{Origin: origin, Seq: seq}
+	case MsgPullRequest, MsgEmpty:
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("transport: %d trailing bytes", len(rest))
+		}
+	default:
+		return nil, fmt.Errorf("transport: cannot decode %v", m.Type)
+	}
+	return m, nil
+}
+
+// WriteFrame writes one encoded message to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(frame)
+	return err
+}
+
+// ReadFrame reads one message from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrameSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, err
+	}
+	return DecodeMessage(body)
+}
+
+func appendUint64(b []byte, v uint64) []byte {
+	var buf [8]byte
+	binary.BigEndian.PutUint64(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+func appendBytes(b, data []byte) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(len(data)))
+	b = append(b, buf[:]...)
+	return append(b, data...)
+}
+
+func readUint64(b []byte) (uint64, []byte, error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("transport: truncated u64")
+	}
+	return binary.BigEndian.Uint64(b), b[8:], nil
+}
+
+func readBytes(b []byte) ([]byte, []byte, error) {
+	if len(b) < 4 {
+		return nil, nil, fmt.Errorf("transport: truncated length")
+	}
+	n := binary.BigEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n {
+		return nil, nil, fmt.Errorf("transport: truncated field (%d of %d bytes)", len(b), n)
+	}
+	if n == 0 {
+		return nil, b, nil
+	}
+	out := make([]byte, n)
+	copy(out, b[:n])
+	return out, b[n:], nil
+}

@@ -1,0 +1,134 @@
+// Package p2pcollect implements indirect large-scale P2P data collection
+// (Niu & Li, ICDCS 2008): instead of uploading vital-statistics logs
+// directly to centralized logging servers, peers spread random-linear-
+// network-coded blocks of their statistics through gossip, and the servers
+// harvest them with a coupon-collector pull loop. The network itself
+// becomes a buffering zone, so server bandwidth only needs to cover the
+// average statistics rate rather than the peak, and data of departed peers
+// remains collectable.
+//
+// The package is a facade over four layers:
+//
+//   - Simulate / SimulateBaseline run the discrete-event simulator of the
+//     full protocol (gossip, TTLs, buffer caps, churn, servers) and of the
+//     traditional direct-pull architecture.
+//   - Analyze evaluates the paper's ODE characterization (§3) and Theorems
+//     1-4: storage overhead, session throughput, block delay, saved data.
+//   - StartCluster boots a live wall-clock deployment of real nodes that
+//     gossip actual coded statistics records over in-memory or TCP
+//     transports; logging servers reconstruct the original records.
+//   - The experiments package (driven by cmd/collectsim) regenerates every
+//     figure and table of the paper's evaluation.
+//
+// See README.md for a walkthrough and examples/ for runnable programs.
+package p2pcollect
+
+import (
+	"p2pcollect/internal/analysis"
+	"p2pcollect/internal/live"
+	"p2pcollect/internal/ode"
+	"p2pcollect/internal/rlnc"
+	"p2pcollect/internal/sim"
+	"p2pcollect/internal/transport"
+)
+
+// Simulation layer.
+type (
+	// SimConfig parameterizes a discrete-event run of the indirect
+	// collection protocol; see the field docs for the paper's notation.
+	SimConfig = sim.Config
+	// SimResult carries the measurements of a run, in both the paper's
+	// state-based accounting and the stricter rank-based one.
+	SimResult = sim.Result
+	// Simulator is a stepwise simulation handle for callers that need
+	// mid-run inspection (invariants, segment views, drain experiments).
+	Simulator = sim.Simulator
+	// SegmentView is a read-only snapshot of one live segment.
+	SegmentView = sim.SegmentView
+	// BaselineConfig parameterizes the traditional direct-pull
+	// architecture of Fig. 1(a).
+	BaselineConfig = sim.BaselineConfig
+	// BaselineResult carries the baseline's measurements.
+	BaselineResult = sim.BaselineResult
+)
+
+// Simulate runs the indirect-collection protocol simulation to its horizon.
+func Simulate(cfg SimConfig) (*SimResult, error) { return sim.Run(cfg) }
+
+// NewSimulator builds a stepwise simulator; drive it with RunUntil and read
+// Result when done.
+func NewSimulator(cfg SimConfig) (*Simulator, error) { return sim.New(cfg) }
+
+// SimulateBaseline runs the traditional direct-pull architecture.
+func SimulateBaseline(cfg BaselineConfig) (*BaselineResult, error) {
+	return sim.RunBaseline(cfg)
+}
+
+// Analysis layer.
+type (
+	// ModelParams are the ODE model parameters (λ, μ, γ, c, s).
+	ModelParams = ode.Params
+	// SteadyState is the fixed point of the z/w/m ODE systems.
+	SteadyState = ode.SteadyState
+	// Analysis bundles Theorems 1-4 for one parameter setting.
+	Analysis = analysis.Metrics
+)
+
+// Analyze solves the steady-state ODE systems for p and evaluates the
+// paper's theorems.
+func Analyze(p ModelParams) (*Analysis, error) { return analysis.Compute(p) }
+
+// SolveODE returns the raw steady state (degree distributions and the
+// collection matrix) for callers that need more than the headline metrics.
+func SolveODE(p ModelParams) (*SteadyState, error) { return ode.Solve(p) }
+
+// NonCodingThroughput evaluates Theorem 2's closed form for s = 1: the
+// normalized session throughput 1 − 1/θ₊.
+func NonCodingThroughput(lambda, mu, gamma, c float64) (float64, error) {
+	return analysis.ThroughputNonCoding(lambda, mu, gamma, c)
+}
+
+// Live deployment layer.
+type (
+	// NodeConfig parameterizes one live peer (rates per second).
+	NodeConfig = live.NodeConfig
+	// Node is a running live peer.
+	Node = live.Node
+	// ServerConfig parameterizes one live logging server.
+	ServerConfig = live.ServerConfig
+	// Server is a running live logging server.
+	Server = live.Server
+	// ClusterConfig describes an in-process deployment of peers and
+	// servers on an in-memory network.
+	ClusterConfig = live.ClusterConfig
+	// Cluster is a running in-process deployment.
+	Cluster = live.Cluster
+	// NodeID identifies a node on a transport.
+	NodeID = transport.NodeID
+	// Transport moves protocol messages; implementations include the
+	// in-memory Network and TCP (NewTCPTransport).
+	Transport = transport.Transport
+	// Network is the in-memory message fabric.
+	Network = transport.Network
+	// SegmentID identifies a coded segment network-wide.
+	SegmentID = rlnc.SegmentID
+)
+
+// StartCluster boots an in-process live deployment: peers on a random
+// overlay plus logging servers, all running real protocol loops.
+func StartCluster(cfg ClusterConfig) (*Cluster, error) { return live.StartCluster(cfg) }
+
+// NewNetwork returns an in-memory transport fabric for live nodes.
+func NewNetwork() *Network { return transport.NewNetwork() }
+
+// NewNode builds a live peer over the given transport.
+func NewNode(tr Transport, cfg NodeConfig) (*Node, error) { return live.NewNode(tr, cfg) }
+
+// NewServer builds a live logging server over the given transport.
+func NewServer(tr Transport, cfg ServerConfig) (*Server, error) { return live.NewServer(tr, cfg) }
+
+// NewTCPTransport starts a TCP transport for id on addr (":0" for an
+// ephemeral port) with an address book mapping node IDs to addresses.
+func NewTCPTransport(id NodeID, addr string, book map[NodeID]string) (*transport.TCPTransport, error) {
+	return transport.ListenTCP(id, addr, book)
+}
