@@ -15,7 +15,9 @@ import (
 	"io"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"p2pcollect/internal/analysis"
 	"p2pcollect/internal/logdata"
@@ -841,25 +843,49 @@ func bufferFor(lambda, mu, gamma float64, s int) int {
 
 // runParallel executes job(0..n-1) on up to GOMAXPROCS workers and waits
 // for completion. Jobs report failures through shared state they own.
+// runParallel runs job(0..n-1) across GOMAXPROCS workers. Work is handed
+// out through a shared atomic counter, so there is no dispatcher goroutine
+// and no per-item channel rendezvous — a worker grabs the next index the
+// moment it finishes the previous one. A panic in any job is captured and
+// re-raised on the caller's goroutine after all workers drain, instead of
+// killing the process from an anonymous worker with the dispatch stack.
 func runParallel(n int, job func(i int)) {
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
-	var wg sync.WaitGroup
-	next := make(chan int)
+	var (
+		next    atomic.Int64
+		wg      sync.WaitGroup
+		panicMu sync.Mutex
+		panicV  any
+		stack   []byte
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range next {
-				job(i)
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicV == nil {
+						panicV = r
+						stack = debug.Stack()
+					}
+					panicMu.Unlock()
+				}
+			}()
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(n) {
+					return
+				}
+				job(int(i))
 			}
 		}()
 	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
+	if panicV != nil {
+		panic(fmt.Sprintf("experiments: worker panic: %v\n%s", panicV, stack))
+	}
 }

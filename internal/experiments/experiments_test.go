@@ -1,7 +1,9 @@
 package experiments
 
 import (
+	"runtime"
 	"strings"
+	"sync/atomic"
 	"testing"
 )
 
@@ -280,4 +282,41 @@ func TestCodingCostTableMonotone(t *testing.T) {
 			}
 		}
 	}
+}
+
+func TestRunParallelCoversAllIndices(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 100} {
+		hits := make([]atomic.Int32, n)
+		runParallel(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d ran %d times, want 1", n, i, got)
+			}
+		}
+	}
+}
+
+func TestRunParallelPropagatesPanic(t *testing.T) {
+	var ran atomic.Int32
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("worker panic was swallowed")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "boom at 3") {
+			t.Fatalf("propagated panic %v does not carry the original value", r)
+		}
+		// The surviving workers must still have drained the remaining work
+		// (with a single worker there is no survivor to drain it).
+		if got := ran.Load(); runtime.GOMAXPROCS(0) > 1 && got != 7 {
+			t.Fatalf("ran %d non-panicking jobs, want 7", got)
+		}
+	}()
+	runParallel(8, func(i int) {
+		if i == 3 {
+			panic("boom at 3")
+		}
+		ran.Add(1)
+	})
 }

@@ -253,6 +253,42 @@ func BenchmarkMul(b *testing.B) {
 	_ = acc
 }
 
+func TestDotMatchesMulLoop(t *testing.T) {
+	// Cross-check the table-lookup Dot against the scalar definition over
+	// vectors with many zeros, the shape the decoder's elimination sees.
+	a := make([]byte, 257)
+	v := make([]byte, 257)
+	for i := range a {
+		a[i] = byte(i * 7)
+		if i%3 == 0 {
+			v[i] = byte(i * 13)
+		}
+	}
+	var want byte
+	for i := range v {
+		want ^= Mul(a[i], v[i])
+	}
+	if got := Dot(a, v); got != want {
+		t.Fatalf("Dot = %#x, want %#x", got, want)
+	}
+}
+
+func BenchmarkDot1K(b *testing.B) {
+	x := make([]byte, 1024)
+	y := make([]byte, 1024)
+	for i := range x {
+		x[i] = byte(i * 31)
+		y[i] = byte(i * 17)
+	}
+	b.SetBytes(1024)
+	b.ResetTimer()
+	var acc byte
+	for i := 0; i < b.N; i++ {
+		acc ^= Dot(x, y)
+	}
+	_ = acc
+}
+
 func BenchmarkAddMulSlice1K(b *testing.B) {
 	dst := make([]byte, 1024)
 	src := make([]byte, 1024)

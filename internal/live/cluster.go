@@ -78,9 +78,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	for j := 0; j < cfg.Servers; j++ {
 		srv, err := NewServer(c.Network.Join(transport.NodeID(serverIDBase+j)), ServerConfig{
-			PullRate: cfg.PullRate,
-			Peers:    peerIDs,
-			Seed:     rng.Int63(),
+			PullRate:    cfg.PullRate,
+			Peers:       peerIDs,
+			SegmentSize: cfg.Node.SegmentSize,
+			Seed:        rng.Int63(),
 		})
 		if err != nil {
 			return fail(err)

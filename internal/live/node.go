@@ -1,9 +1,11 @@
 // Package live is the wall-clock implementation of the indirect collection
 // protocol: real nodes running goroutine loops for statistics generation,
 // RLNC gossip, TTL expiry, and server pulls, over any transport.Transport
-// (in-memory channels or TCP). It shares the coding substrate with the
-// discrete-event simulator but runs in real time and moves real payload
-// bytes, so a logging server actually reconstructs the statistics records.
+// (in-memory channels or TCP). The protocol state machines themselves —
+// the per-peer buffer and the server collections — are the peercore ones
+// the discrete-event simulator drives, so the two runtimes execute the
+// same code paths; this package contributes the goroutine scheduling, the
+// wall clock, and real payload bytes moving over a transport.
 package live
 
 import (
@@ -13,6 +15,7 @@ import (
 	"time"
 
 	"p2pcollect/internal/logdata"
+	"p2pcollect/internal/peercore"
 	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 	"p2pcollect/internal/transport"
@@ -59,7 +62,9 @@ func (c NodeConfig) validate() error {
 	return nil
 }
 
-// NodeStats is a snapshot of a node's counters.
+// NodeStats is a snapshot of a node's counters. The named fields are the
+// stable subset; Protocol carries the full shared peercore counter
+// vocabulary (the same names the simulator reports).
 type NodeStats struct {
 	InjectedSegments int64
 	InjectedBlocks   int64
@@ -70,6 +75,7 @@ type NodeStats struct {
 	PullsServed      int64
 	BufferedBlocks   int
 	BufferedSegments int
+	Protocol         map[string]int64
 }
 
 // Node is one live peer. Create with NewNode, start with Start, stop with
@@ -78,17 +84,13 @@ type Node struct {
 	cfg NodeConfig
 	tr  transport.Transport
 
-	mu        sync.Mutex
-	rng       *randx.Rand
-	holdings  map[rlnc.SegmentID]*rlnc.Holding
-	segIDs    []rlnc.SegmentID
-	deadlines map[*rlnc.CodedBlock]time.Time
-	occupancy int
-	fullAt    map[rlnc.SegmentID]map[transport.NodeID]bool
-	gen       *logdata.Generator
-	seq       uint64
-	started   time.Time
-	stats     NodeStats
+	mu       sync.Mutex
+	rng      *randx.Rand
+	core     *peercore.Peer
+	counters *peercore.Counters
+	fullAt   map[rlnc.SegmentID]map[transport.NodeID]bool
+	gen      *logdata.Generator
+	started  time.Time
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -102,15 +104,21 @@ func NewNode(tr transport.Transport, cfg NodeConfig) (*Node, error) {
 		return nil, err
 	}
 	rng := randx.New(cfg.Seed)
+	counters := peercore.NewCounters()
+	core := peercore.NewPeer(uint64(tr.LocalID()), peercore.PeerConfig{
+		SegmentSize: cfg.SegmentSize,
+		BufferCap:   cfg.BufferCap,
+		Gamma:       cfg.Gamma,
+	}, rng, counters)
 	return &Node{
-		cfg:       cfg,
-		tr:        tr,
-		rng:       rng,
-		holdings:  make(map[rlnc.SegmentID]*rlnc.Holding),
-		deadlines: make(map[*rlnc.CodedBlock]time.Time),
-		fullAt:    make(map[rlnc.SegmentID]map[transport.NodeID]bool),
-		gen:       logdata.NewGenerator(uint64(tr.LocalID()), rng.Fork()),
-		stop:      make(chan struct{}),
+		cfg:      cfg,
+		tr:       tr,
+		rng:      rng,
+		core:     core,
+		counters: counters,
+		fullAt:   make(map[rlnc.SegmentID]map[transport.NodeID]bool),
+		gen:      logdata.NewGenerator(uint64(tr.LocalID()), rng.Fork()),
+		stop:     make(chan struct{}),
 	}, nil
 }
 
@@ -155,11 +163,24 @@ func (n *Node) Stop() {
 func (n *Node) Stats() NodeStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	s := n.stats
-	s.BufferedBlocks = n.occupancy
-	s.BufferedSegments = len(n.segIDs)
-	return s
+	c := n.counters
+	return NodeStats{
+		InjectedSegments: c.Get(peercore.EvInjectedSegment),
+		InjectedBlocks:   c.Get(peercore.EvInjectedBlock),
+		GossipSent:       c.Get(peercore.EvGossipSend),
+		BlocksReceived:   c.Get(peercore.EvBlockReceived),
+		BlocksStored:     c.Get(peercore.EvBlockStored),
+		BlocksExpired:    c.Get(peercore.EvBlockLostTTL),
+		PullsServed:      c.Get(peercore.EvPullServed),
+		BufferedBlocks:   n.core.Occupancy(),
+		BufferedSegments: n.core.NumSegments(),
+		Protocol:         c.Snapshot(),
+	}
 }
+
+// now is the node's protocol clock: wall seconds since Start. Callers
+// hold mu (the core is single-threaded under the node mutex).
+func (n *Node) now() float64 { return time.Since(n.started).Seconds() }
 
 // expDelay samples an exponential inter-event time, clamped so a zero rate
 // parks the timer effectively forever.
@@ -190,17 +211,19 @@ func (n *Node) injectLoop() {
 }
 
 // inject generates one segment of fresh statistics records and stores its
-// source blocks.
+// source blocks (suppressed by the core when the buffer is above B−s).
 func (n *Node) inject() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	s := n.cfg.SegmentSize
-	if n.occupancy > n.cfg.BufferCap-s {
-		return
-	}
+	n.core.Inject(n.now(), n.makePayloads)
+}
+
+// makePayloads builds the s payload blocks for a new segment from the
+// node's synthetic statistics stream. Callers hold mu.
+func (n *Node) makePayloads() [][]byte {
 	perBlock := n.cfg.BlockSize / logdata.RecordSize
-	elapsed := time.Since(n.started).Seconds()
-	blocks := make([][]byte, s)
+	elapsed := n.now()
+	blocks := make([][]byte, n.cfg.SegmentSize)
 	for i := range blocks {
 		block := make([]byte, n.cfg.BlockSize)
 		for j := 0; j < perBlock; j++ {
@@ -211,17 +234,7 @@ func (n *Node) inject() {
 		}
 		blocks[i] = block
 	}
-	segID := rlnc.SegmentID{Origin: uint64(n.ID()), Seq: n.seq}
-	n.seq++
-	seg, err := rlnc.NewSegment(segID, blocks)
-	if err != nil {
-		return // unreachable: blocks are uniform by construction
-	}
-	for i := 0; i < s; i++ {
-		n.storeLocked(seg.SourceBlock(i))
-	}
-	n.stats.InjectedSegments++
-	n.stats.InjectedBlocks += int64(s)
+	return blocks
 }
 
 func (n *Node) gossipLoop() {
@@ -235,9 +248,7 @@ func (n *Node) gossipLoop() {
 		case <-timer.C:
 			if to, msg, ok := n.prepareGossip(); ok {
 				if err := n.tr.Send(to, msg); err == nil {
-					n.mu.Lock()
-					n.stats.GossipSent++
-					n.mu.Unlock()
+					n.counters.Count(peercore.EvGossipSend, 1)
 				}
 			}
 			timer.Reset(n.expDelay(n.cfg.Mu))
@@ -246,14 +257,19 @@ func (n *Node) gossipLoop() {
 }
 
 // prepareGossip picks a segment and an eligible neighbor and re-encodes one
-// block, all under the lock; sending happens outside it.
+// block, all under the lock; sending happens outside it. The segment-
+// complete notices in fullAt are the distributed approximation of the
+// simulator's exact gossip-target eligibility rule.
 func (n *Node) prepareGossip() (transport.NodeID, *transport.Message, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if len(n.segIDs) == 0 || len(n.cfg.Neighbors) == 0 {
+	if len(n.cfg.Neighbors) == 0 {
 		return 0, nil, false
 	}
-	segID := n.segIDs[n.rng.Intn(len(n.segIDs))]
+	segID, ok := n.core.SampleSegment()
+	if !ok {
+		return 0, nil, false
+	}
 	full := n.fullAt[segID]
 	candidates := make([]transport.NodeID, 0, len(n.cfg.Neighbors))
 	for _, nb := range n.cfg.Neighbors {
@@ -262,10 +278,11 @@ func (n *Node) prepareGossip() (transport.NodeID, *transport.Message, bool) {
 		}
 	}
 	if len(candidates) == 0 {
+		n.counters.Count(peercore.EvNoTargetGossip, 1)
 		return 0, nil, false
 	}
 	to := candidates[n.rng.Intn(len(candidates))]
-	cb := n.holdings[segID].Recode(n.rng)
+	cb := n.core.Recode(segID)
 	return to, &transport.Message{Type: transport.MsgBlock, Block: cb}, true
 }
 
@@ -290,25 +307,9 @@ func (n *Node) reapLoop() {
 func (n *Node) reap() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	now := time.Now()
-	for i := 0; i < len(n.segIDs); i++ {
-		segID := n.segIDs[i]
-		h := n.holdings[segID]
-		for _, cb := range append([]*rlnc.CodedBlock(nil), h.Blocks()...) {
-			if deadline, ok := n.deadlines[cb]; ok && now.After(deadline) {
-				h.RemoveBlock(cb)
-				delete(n.deadlines, cb)
-				n.occupancy--
-				n.stats.BlocksExpired++
-			}
-		}
-		if h.Len() == 0 {
-			n.dropHoldingLocked(i, segID)
-			i--
-		}
-	}
+	n.core.ExpireDue(n.now())
 	for segID := range n.fullAt {
-		if _, held := n.holdings[segID]; !held {
+		if !n.core.Holds(segID) {
 			delete(n.fullAt, segID)
 		}
 	}
@@ -354,13 +355,9 @@ func (n *Node) receiveBlock(m *transport.Message) {
 		return
 	}
 	n.mu.Lock()
-	n.stats.BlocksReceived++
-	if n.occupancy >= n.cfg.BufferCap {
-		n.mu.Unlock()
-		return
-	}
-	stored := n.storeLocked(m.Block)
-	justFull := stored && n.holdings[m.Block.Seg].Full()
+	n.counters.Count(peercore.EvBlockReceived, 1)
+	res := n.core.Store(n.now(), m.Block)
+	justFull := res.Stored && n.core.HoldingFull(m.Block.Seg)
 	n.mu.Unlock()
 	if justFull {
 		notice := &transport.Message{Type: transport.MsgSegmentComplete, Seg: m.Block.Seg}
@@ -375,46 +372,12 @@ func (n *Node) receiveBlock(m *transport.Message) {
 func (n *Node) servePull(from transport.NodeID) {
 	n.mu.Lock()
 	var reply *transport.Message
-	if len(n.segIDs) == 0 {
-		reply = &transport.Message{Type: transport.MsgEmpty}
+	if segID, ok := n.core.SampleSegment(); ok {
+		reply = &transport.Message{Type: transport.MsgBlock, Block: n.core.Recode(segID)}
+		n.counters.Count(peercore.EvPullServed, 1)
 	} else {
-		segID := n.segIDs[n.rng.Intn(len(n.segIDs))]
-		reply = &transport.Message{
-			Type:  transport.MsgBlock,
-			Block: n.holdings[segID].Recode(n.rng),
-		}
-		n.stats.PullsServed++
+		reply = &transport.Message{Type: transport.MsgEmpty}
 	}
 	n.mu.Unlock()
 	n.tr.Send(from, reply) //nolint:errcheck // best-effort reply
-}
-
-// storeLocked files cb if innovative, assigning it a TTL. Callers hold mu.
-func (n *Node) storeLocked(cb *rlnc.CodedBlock) bool {
-	h := n.holdings[cb.Seg]
-	if h == nil {
-		h = rlnc.NewHolding(cb.Seg, n.cfg.SegmentSize)
-		n.holdings[cb.Seg] = h
-		n.segIDs = append(n.segIDs, cb.Seg)
-	}
-	if !h.Add(cb) {
-		if h.Len() == 0 {
-			n.dropHoldingLocked(len(n.segIDs)-1, cb.Seg)
-		}
-		return false
-	}
-	ttl := n.rng.Exp(n.cfg.Gamma)
-	n.deadlines[cb] = time.Now().Add(time.Duration(ttl * float64(time.Second)))
-	n.occupancy++
-	n.stats.BlocksStored++
-	return true
-}
-
-// dropHoldingLocked removes the empty holding at index i of segIDs.
-func (n *Node) dropHoldingLocked(i int, segID rlnc.SegmentID) {
-	last := len(n.segIDs) - 1
-	n.segIDs[i] = n.segIDs[last]
-	n.segIDs = n.segIDs[:last]
-	delete(n.holdings, segID)
-	delete(n.fullAt, segID)
 }

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"p2pcollect/internal/peercore"
 	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 	"p2pcollect/internal/transport"
@@ -20,6 +21,10 @@ type ServerConfig struct {
 	PullRate float64
 	// Peers are the nodes this server probes, uniformly at random.
 	Peers []transport.NodeID
+	// SegmentSize is s, the coding generation size the server expects.
+	// Zero means infer it from the first block that arrives; blocks of any
+	// other size are then dropped as malformed.
+	SegmentSize int
 	// FinishedCap bounds how many completed segment IDs the server
 	// remembers for redundancy suppression (oldest forgotten first; a
 	// forgotten segment would merely be decoded again). Zero selects a
@@ -35,25 +40,33 @@ func (c ServerConfig) validate() error {
 		return errors.New("live: negative pull rate")
 	case len(c.Peers) == 0:
 		return errors.New("live: server needs at least one peer")
+	case c.SegmentSize < 0:
+		return errors.New("live: negative SegmentSize")
 	case c.FinishedCap < 0:
 		return errors.New("live: negative FinishedCap")
 	}
 	return nil
 }
 
-// ServerStats is a snapshot of a server's counters.
+// ServerStats is a snapshot of a server's counters. RedundantBlocks keeps
+// the original coarse definition (finished-segment, malformed, or
+// non-innovative blocks); Protocol carries the shared peercore counter
+// vocabulary, which splits the same traffic into state-based and
+// rank-based buckets exactly as the simulator reports them.
 type ServerStats struct {
-	PullsSent       int64
-	BlocksReceived  int64
-	EmptyReplies    int64
-	RedundantBlocks int64
-	DecodedSegments int64
-	OpenDecoders    int
+	PullsSent         int64
+	BlocksReceived    int64
+	EmptyReplies      int64
+	RedundantBlocks   int64
+	DeliveredSegments int64
+	DecodedSegments   int64
+	OpenDecoders      int
+	Protocol          map[string]int64
 }
 
 // Server is a live logging server running the coupon-collector pull loop
-// and progressively decoding segments. OnSegment, when set before Start,
-// receives every reconstructed segment's original blocks.
+// and the shared peercore collection state machine. OnSegment, when set
+// before Start, receives every reconstructed segment's original blocks.
 type Server struct {
 	cfg ServerConfig
 	tr  transport.Transport
@@ -64,10 +77,12 @@ type Server struct {
 
 	mu           sync.Mutex
 	rng          *randx.Rand
-	decoders     map[rlnc.SegmentID]*rlnc.Decoder
+	counters     *peercore.Counters
+	collector    *peercore.Collector // nil until the segment size is known
 	finished     map[rlnc.SegmentID]bool
 	finishedFIFO []rlnc.SegmentID // eviction order for the finished set
-	stats        ServerStats
+	redundant    int64
+	started      time.Time
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -83,14 +98,18 @@ func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
 	if cfg.FinishedCap == 0 {
 		cfg.FinishedCap = defaultFinishedCap
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		tr:       tr,
 		rng:      randx.New(cfg.Seed),
-		decoders: make(map[rlnc.SegmentID]*rlnc.Decoder),
+		counters: peercore.NewCounters(),
 		finished: make(map[rlnc.SegmentID]bool),
 		stop:     make(chan struct{}),
-	}, nil
+	}
+	if cfg.SegmentSize > 0 {
+		s.collector = peercore.NewCollector(peercore.CollectorConfig{SegmentSize: cfg.SegmentSize}, s.counters)
+	}
+	return s, nil
 }
 
 // ID returns the server's network identity.
@@ -104,6 +123,7 @@ func (s *Server) Start() error {
 		return errors.New("live: server already running")
 	}
 	s.running = true
+	s.started = time.Now()
 	s.wg.Add(1)
 	go s.recvLoop()
 	if s.cfg.PullRate > 0 {
@@ -130,10 +150,25 @@ func (s *Server) Stop() {
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	st := s.stats
-	st.OpenDecoders = len(s.decoders)
+	c := s.counters
+	st := ServerStats{
+		PullsSent:         c.Get(peercore.EvPullSent),
+		BlocksReceived:    c.Get(peercore.EvBlockReceived),
+		EmptyReplies:      c.Get(peercore.EvEmptyReply),
+		RedundantBlocks:   s.redundant,
+		DeliveredSegments: c.Get(peercore.EvDeliveredSegment),
+		DecodedSegments:   c.Get(peercore.EvDecodedSegment),
+		Protocol:          c.Snapshot(),
+	}
+	if s.collector != nil {
+		st.OpenDecoders = s.collector.OpenCount()
+	}
 	return st
 }
+
+// now is the server's protocol clock: wall seconds since Start. Callers
+// hold mu.
+func (s *Server) now() float64 { return time.Since(s.started).Seconds() }
 
 func (s *Server) pullLoop() {
 	defer s.wg.Done()
@@ -155,7 +190,7 @@ func (s *Server) pullLoop() {
 		case <-timer.C:
 			s.mu.Lock()
 			peer := s.cfg.Peers[s.rng.Intn(len(s.cfg.Peers))]
-			s.stats.PullsSent++
+			s.counters.Count(peercore.EvPullSent, 1)
 			s.mu.Unlock()
 			s.tr.Send(peer, &transport.Message{Type: transport.MsgPullRequest}) //nolint:errcheck // best-effort
 			timer.Reset(delay())
@@ -178,7 +213,7 @@ func (s *Server) recvLoop() {
 				s.receiveBlock(m.Block)
 			case transport.MsgEmpty:
 				s.mu.Lock()
-				s.stats.EmptyReplies++
+				s.counters.Count(peercore.EvEmptyReply, 1)
 				s.mu.Unlock()
 			default:
 				// Servers ignore peer-to-peer chatter.
@@ -187,42 +222,39 @@ func (s *Server) recvLoop() {
 	}
 }
 
-// receiveBlock feeds a pulled block into the segment's decoder and fires
-// OnSegment at full rank.
+// receiveBlock feeds a pulled block into the shared collection state
+// machine and fires OnSegment at full rank.
 func (s *Server) receiveBlock(cb *rlnc.CodedBlock) {
 	if cb == nil {
 		return
 	}
 	s.mu.Lock()
-	s.stats.BlocksReceived++
+	s.counters.Count(peercore.EvBlockReceived, 1)
 	if s.finished[cb.Seg] {
-		s.stats.RedundantBlocks++
+		s.redundant++
 		s.mu.Unlock()
 		return
 	}
-	dec := s.decoders[cb.Seg]
-	if dec == nil {
-		dec = rlnc.NewDecoder(cb.Seg, cb.SegmentSize(), len(cb.Payload))
-		s.decoders[cb.Seg] = dec
+	if s.collector == nil {
+		s.collector = peercore.NewCollector(peercore.CollectorConfig{SegmentSize: cb.SegmentSize()}, s.counters)
 	}
-	innovative, err := dec.Add(cb)
-	if err != nil || !innovative {
-		s.stats.RedundantBlocks++
+	out, col, err := s.collector.Receive(s.now(), cb)
+	if err != nil || !out.Innovative {
+		s.redundant++
 		s.mu.Unlock()
 		return
 	}
-	if !dec.Complete() {
+	if !out.Decoded {
 		s.mu.Unlock()
 		return
 	}
-	blocks, err := dec.Decode()
+	blocks, decErr := col.Decode()
 	s.markFinished(cb.Seg)
-	delete(s.decoders, cb.Seg)
-	s.stats.DecodedSegments++
-	cb2 := s.OnSegment
+	s.collector.Forget(cb.Seg)
+	onSegment := s.OnSegment
 	s.mu.Unlock()
-	if err == nil && cb2 != nil {
-		cb2(cb.Seg, blocks)
+	if decErr == nil && onSegment != nil {
+		onSegment(cb.Seg, blocks)
 	}
 }
 

@@ -1,0 +1,41 @@
+package metrics
+
+import "sync/atomic"
+
+// CounterSet is a fixed vocabulary of named monotone counters with atomic
+// updates. It backs the protocol event sink shared by the discrete-event
+// simulator and the live runtime: single-threaded drivers pay one atomic add
+// per event, concurrent drivers (goroutine loops under -race) stay safe
+// without extra locking, and Snapshot gives observers a consistent-enough
+// view for stats endpoints.
+type CounterSet struct {
+	names []string
+	vals  []atomic.Int64
+}
+
+// NewCounterSet returns a zeroed counter per name. The name slice defines
+// both the index space and the Snapshot keys.
+func NewCounterSet(names []string) *CounterSet {
+	return &CounterSet{names: names, vals: make([]atomic.Int64, len(names))}
+}
+
+// Len returns the number of counters.
+func (c *CounterSet) Len() int { return len(c.names) }
+
+// Name returns the i-th counter's name.
+func (c *CounterSet) Name(i int) string { return c.names[i] }
+
+// Add increments counter i by n.
+func (c *CounterSet) Add(i int, n int64) { c.vals[i].Add(n) }
+
+// Get returns the current value of counter i.
+func (c *CounterSet) Get(i int) int64 { return c.vals[i].Load() }
+
+// Snapshot returns a name→value copy of all counters.
+func (c *CounterSet) Snapshot() map[string]int64 {
+	out := make(map[string]int64, len(c.names))
+	for i, name := range c.names {
+		out[name] = c.vals[i].Load()
+	}
+	return out
+}

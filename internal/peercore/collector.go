@@ -1,0 +1,181 @@
+package peercore
+
+import (
+	"fmt"
+
+	"p2pcollect/internal/rlnc"
+)
+
+// CollectorConfig parameterizes a server collection state machine.
+type CollectorConfig struct {
+	// SegmentSize is s, the coding generation size.
+	SegmentSize int
+	// RankOnly opens every collection with a rank-tracking decoder that
+	// ignores payloads. The simulator's pooled ground-truth observer (the
+	// IndependentServers rank decoder) runs in this mode.
+	RankOnly bool
+}
+
+// PullOutcome reports how a received block advanced a collection.
+type PullOutcome struct {
+	// Useful: the block advanced the per-segment collection-state counter
+	// (state < s before the pull). This is the paper's state-based
+	// accounting, Theorem 2.
+	Useful bool
+	// Delivered: this pull moved the state counter to exactly s.
+	Delivered bool
+	// Innovative: the block increased the decoder's rank.
+	Innovative bool
+	// Decoded: this pull brought the decoder to full rank s.
+	Decoded bool
+}
+
+// Collection is one segment's server-side state: the collection-state
+// counter of §2 plus the rank decoder that grounds it.
+type Collection struct {
+	state       int
+	dec         *rlnc.Decoder
+	payloadLen  int
+	deliveredAt float64
+	decodedAt   float64
+}
+
+// State returns the collection-state counter.
+func (c *Collection) State() int { return c.state }
+
+// Rank returns the decoder rank.
+func (c *Collection) Rank() int { return c.dec.Rank() }
+
+// Delivered reports whether the state counter has reached s.
+func (c *Collection) Delivered() bool { return c.deliveredAt > 0 }
+
+// DeliveredAt returns when the state counter reached s (0 if not yet).
+func (c *Collection) DeliveredAt() float64 { return c.deliveredAt }
+
+// Decoded reports whether the decoder has full rank.
+func (c *Collection) Decoded() bool { return c.decodedAt > 0 }
+
+// DecodedAt returns when the decoder reached full rank (0 if not yet).
+func (c *Collection) DecodedAt() float64 { return c.decodedAt }
+
+// Decode reconstructs the source blocks; valid only once Decoded.
+func (c *Collection) Decode() ([][]byte, error) { return c.dec.Decode() }
+
+// Collector is the server collection state machine: one Collection per
+// segment it has seen or been told about. Not safe for concurrent use;
+// drivers serialize access.
+type Collector struct {
+	cfg  CollectorConfig
+	sink EventSink
+	segs map[rlnc.SegmentID]*Collection
+}
+
+// NewCollector builds an empty collector; sink may be nil.
+func NewCollector(cfg CollectorConfig, sink EventSink) *Collector {
+	if cfg.SegmentSize < 1 {
+		panic(fmt.Errorf("peercore: SegmentSize = %d, need >= 1", cfg.SegmentSize))
+	}
+	if sink == nil {
+		sink = NopSink{}
+	}
+	return &Collector{cfg: cfg, sink: sink, segs: make(map[rlnc.SegmentID]*Collection)}
+}
+
+// Open ensures a Collection for the segment exists and returns it. The
+// simulator opens collections at inject time so zero-state segments are
+// visible; Receive opens lazily for servers that learn of segments only
+// from arriving blocks. payloadLen fixes the expected payload size (0 for
+// rank tracking only; forced to 0 in RankOnly mode).
+func (c *Collector) Open(seg rlnc.SegmentID, payloadLen int) *Collection {
+	col := c.segs[seg]
+	if col == nil {
+		if c.cfg.RankOnly {
+			payloadLen = 0
+		}
+		col = &Collection{
+			dec:        rlnc.NewDecoder(seg, c.cfg.SegmentSize, payloadLen),
+			payloadLen: payloadLen,
+		}
+		c.segs[seg] = col
+	}
+	return col
+}
+
+// Collection returns the segment's collection, or nil if never opened.
+func (c *Collector) Collection(seg rlnc.SegmentID) *Collection { return c.segs[seg] }
+
+// OpenCount returns how many collections are currently held.
+func (c *Collector) OpenCount() int { return len(c.segs) }
+
+// Forget discards a segment's collection (bounded server memory, or the
+// simulator reclaiming extinct segments).
+func (c *Collector) Forget(seg rlnc.SegmentID) { delete(c.segs, seg) }
+
+// Receive runs one pulled block through the collection state machine:
+// shape validation, state-counter accounting, then the rank decoder. A
+// malformed block is rejected before any counter moves.
+func (c *Collector) Receive(now float64, cb *rlnc.CodedBlock) (PullOutcome, *Collection, error) {
+	s := c.cfg.SegmentSize
+	if len(cb.Coeffs) != s {
+		return PullOutcome{}, nil, fmt.Errorf("peercore: block with %d coefficients, segment size %d", len(cb.Coeffs), s)
+	}
+	col := c.segs[cb.Seg]
+	if col == nil {
+		payloadLen := 0
+		if !c.cfg.RankOnly {
+			payloadLen = len(cb.Payload)
+		}
+		col = c.Open(cb.Seg, payloadLen)
+	}
+	if col.payloadLen > 0 && len(cb.Payload) != col.payloadLen {
+		return PullOutcome{}, col, fmt.Errorf("peercore: block payload %dB, collection expects %dB", len(cb.Payload), col.payloadLen)
+	}
+
+	var out PullOutcome
+	c.sink.Count(EvServerPull, 1)
+	if col.state < s {
+		col.state++
+		out.Useful = true
+		c.sink.Count(EvUsefulPull, 1)
+		if col.state == s {
+			out.Delivered = true
+			col.deliveredAt = now
+			c.sink.Count(EvDeliveredSegment, 1)
+		}
+	} else {
+		c.sink.Count(EvRedundantPull, 1)
+	}
+
+	if added, err := col.dec.Add(cb); err != nil {
+		return out, col, err
+	} else if added {
+		out.Innovative = true
+		c.sink.Count(EvInnovativePull, 1)
+		if col.dec.Complete() {
+			out.Decoded = true
+			col.decodedAt = now
+			c.sink.Count(EvDecodedSegment, 1)
+		}
+	}
+	return out, col, nil
+}
+
+// Observe feeds a block to the rank decoder only, bypassing the state
+// counter and every event counter. The simulator's pooled ground-truth
+// observer uses this in IndependentServers mode, where the state-based
+// accounting lives in the per-server collections instead.
+func (c *Collector) Observe(now float64, cb *rlnc.CodedBlock) (innovative bool, nowDecoded bool, err error) {
+	if len(cb.Coeffs) != c.cfg.SegmentSize {
+		return false, false, fmt.Errorf("peercore: block with %d coefficients, segment size %d", len(cb.Coeffs), c.cfg.SegmentSize)
+	}
+	col := c.Open(cb.Seg, 0)
+	added, err := col.dec.Add(cb)
+	if err != nil {
+		return false, false, err
+	}
+	if added && col.dec.Complete() {
+		col.decodedAt = now
+		return true, true, nil
+	}
+	return added, false, nil
+}

@@ -1,0 +1,359 @@
+// Package peercore is the clock- and transport-agnostic core of the
+// indirect-collection protocol (§2 of the paper): the per-peer state machine
+// (segment holdings, bounded buffer, injection, innovative store, per-block
+// TTL bookkeeping, gossip-target eligibility, re-encoding) and the server
+// collection state machine (per-segment state counter plus rank decoder).
+//
+// The discrete-event simulator drives one Peer per slot from DES event
+// ticks with simulated time; the live runtime drives the identical code
+// from goroutine timers under a mutex with wall-clock seconds. Time is an
+// opaque float64 supplied by the driver, randomness comes from an injected
+// randx.Rand, and counters flow through a pluggable EventSink, so the two
+// runtimes genuinely execute the same protocol code paths.
+package peercore
+
+import (
+	"fmt"
+
+	"p2pcollect/internal/randx"
+	"p2pcollect/internal/rlnc"
+)
+
+// PeerConfig parameterizes one peer state machine. Rates are per unit of
+// whatever time base the driver uses (simulated time or seconds).
+type PeerConfig struct {
+	// SegmentSize is s, the coding generation size.
+	SegmentSize int
+	// BufferCap is B, the maximum number of buffered coded blocks.
+	BufferCap int
+	// Gamma is the block TTL rate; each stored block gets an Exp(Gamma)
+	// lifetime sampled at store time.
+	Gamma float64
+}
+
+// Validate reports the first problem with the configuration.
+func (c PeerConfig) Validate() error {
+	switch {
+	case c.SegmentSize < 1:
+		return fmt.Errorf("peercore: SegmentSize = %d, need >= 1", c.SegmentSize)
+	case c.BufferCap < c.SegmentSize:
+		return fmt.Errorf("peercore: BufferCap %d < SegmentSize %d", c.BufferCap, c.SegmentSize)
+	case c.Gamma <= 0:
+		return fmt.Errorf("peercore: Gamma must be positive, got %g", c.Gamma)
+	}
+	return nil
+}
+
+// StoreResult reports what Store did with an offered block.
+type StoreResult struct {
+	// Stored is true when the block was innovative and filed.
+	Stored bool
+	// NoRoom is true when the buffer was at capacity and the block was
+	// rejected before the rank test.
+	NoRoom bool
+	// TTL is the sampled block lifetime (only when Stored).
+	TTL float64
+	// Deadline is now + TTL (only when Stored); ExpireDue sweeps against it.
+	Deadline float64
+}
+
+// Stored describes one block filed by Inject, with its TTL so event-driven
+// runtimes can schedule the exact expiry.
+type Stored struct {
+	Block    *rlnc.CodedBlock
+	TTL      float64
+	Deadline float64
+}
+
+// Peer is the per-peer protocol state machine. It is not safe for
+// concurrent use; the live runtime serializes calls under the node mutex,
+// the simulator is single-threaded.
+type Peer struct {
+	cfg    PeerConfig
+	origin uint64
+	rng    *randx.Rand
+	sink   EventSink
+
+	seq       uint64
+	holdings  map[rlnc.SegmentID]*rlnc.Holding
+	segIDs    []rlnc.SegmentID
+	segPos    map[rlnc.SegmentID]int
+	deadlines map[*rlnc.CodedBlock]float64
+	occupancy int
+}
+
+// NewPeer builds a peer with the given network identity. The rng may be
+// shared with the driver (the simulator passes its global stream so the
+// seeded event order is unchanged); sink may be nil to discard counters.
+func NewPeer(origin uint64, cfg PeerConfig, rng *randx.Rand, sink EventSink) *Peer {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if sink == nil {
+		sink = NopSink{}
+	}
+	return &Peer{
+		cfg:       cfg,
+		origin:    origin,
+		rng:       rng,
+		sink:      sink,
+		holdings:  make(map[rlnc.SegmentID]*rlnc.Holding),
+		segPos:    make(map[rlnc.SegmentID]int),
+		deadlines: make(map[*rlnc.CodedBlock]float64),
+	}
+}
+
+// Origin returns the peer's network identity (the SegmentID origin of the
+// segments it injects).
+func (p *Peer) Origin() uint64 { return p.origin }
+
+// Occupancy returns the number of buffered coded blocks.
+func (p *Peer) Occupancy() int { return p.occupancy }
+
+// NumSegments returns the number of distinct segments buffered.
+func (p *Peer) NumSegments() int { return len(p.segIDs) }
+
+// SegmentAt returns the i-th buffered segment ID (stable between
+// mutations; order is arbitrary).
+func (p *Peer) SegmentAt(i int) rlnc.SegmentID { return p.segIDs[i] }
+
+// BlocksOf returns how many blocks of the segment are buffered.
+func (p *Peer) BlocksOf(seg rlnc.SegmentID) int {
+	if h := p.holdings[seg]; h != nil {
+		return h.Len()
+	}
+	return 0
+}
+
+// Holds reports whether any block of the segment is buffered.
+func (p *Peer) Holds(seg rlnc.SegmentID) bool { return p.holdings[seg] != nil }
+
+// HoldingFull reports whether the peer already holds s independent blocks
+// of the segment.
+func (p *Peer) HoldingFull(seg rlnc.SegmentID) bool {
+	h := p.holdings[seg]
+	return h != nil && h.Full()
+}
+
+// NeedsBlocks is the gossip-target eligibility rule of §2: the peer has
+// buffer room and does not yet hold s independent blocks of the segment.
+func (p *Peer) NeedsBlocks(seg rlnc.SegmentID) bool {
+	if p.occupancy >= p.cfg.BufferCap {
+		return false
+	}
+	h := p.holdings[seg]
+	return h == nil || !h.Full()
+}
+
+// CanInject reports whether a full segment of s source blocks fits in the
+// buffer.
+func (p *Peer) CanInject() bool { return p.occupancy <= p.cfg.BufferCap-p.cfg.SegmentSize }
+
+// Inject generates the next segment of this peer: s source blocks with unit
+// coefficient vectors, each stored with its own TTL. The payloads callback
+// (nil for structure-only runs) is invoked only after the buffer-cap check
+// passes and must return s equal-length blocks. Inject returns ok=false and
+// counts a suppressed injection when the buffer is above B−s.
+//
+// A source block can be rejected as redundant when the segment ID is not
+// globally fresh — a live peer restarting under its old network identity
+// re-counts sequence numbers from zero while its earlier blocks still
+// circulate. Such blocks are dropped (counted as redundant by Store) and
+// simply omitted from the returned list.
+func (p *Peer) Inject(now float64, payloads func() [][]byte) (rlnc.SegmentID, []Stored, bool) {
+	size := p.cfg.SegmentSize
+	if !p.CanInject() {
+		p.sink.Count(EvSuppressedInjection, 1)
+		return rlnc.SegmentID{}, nil, false
+	}
+	segID := rlnc.SegmentID{Origin: p.origin, Seq: p.seq}
+	p.seq++
+	var data [][]byte
+	if payloads != nil {
+		data = payloads()
+	}
+	stored := make([]Stored, 0, size)
+	for i := 0; i < size; i++ {
+		coeffs := make([]byte, size)
+		coeffs[i] = 1
+		cb := &rlnc.CodedBlock{Seg: segID, Coeffs: coeffs}
+		if data != nil {
+			cb.Payload = data[i]
+		}
+		res := p.Store(now, cb)
+		if !res.Stored {
+			continue
+		}
+		stored = append(stored, Stored{Block: cb, TTL: res.TTL, Deadline: res.Deadline})
+	}
+	p.sink.Count(EvInjectedSegment, 1)
+	p.sink.Count(EvInjectedBlock, int64(size))
+	return segID, stored, true
+}
+
+// Store files cb if it is innovative, assigning it an Exp(Gamma) TTL. A
+// block arriving at a full buffer is rejected with NoRoom; a linearly
+// redundant block is discarded and counted. The caller keeps the returned
+// TTL if it wants to schedule the exact expiry event (the simulator does);
+// sweep-based runtimes use ExpireDue instead.
+func (p *Peer) Store(now float64, cb *rlnc.CodedBlock) StoreResult {
+	if p.occupancy >= p.cfg.BufferCap {
+		return StoreResult{NoRoom: true}
+	}
+	h := p.holdings[cb.Seg]
+	if h == nil {
+		h = rlnc.NewHolding(cb.Seg, p.cfg.SegmentSize)
+		p.holdings[cb.Seg] = h
+		p.segPos[cb.Seg] = len(p.segIDs)
+		p.segIDs = append(p.segIDs, cb.Seg)
+	}
+	if !h.Add(cb) {
+		if h.Len() == 0 {
+			p.dropHolding(cb.Seg)
+		}
+		p.sink.Count(EvRedundantBlock, 1)
+		return StoreResult{}
+	}
+	ttl := p.rng.Exp(p.cfg.Gamma)
+	deadline := now + ttl
+	p.deadlines[cb] = deadline
+	p.occupancy++
+	p.sink.Count(EvBlockStored, 1)
+	return StoreResult{Stored: true, TTL: ttl, Deadline: deadline}
+}
+
+// SampleSegment returns a uniformly random buffered segment, the segment
+// choice of both the gossip step and the pull-serve step in §2.
+func (p *Peer) SampleSegment() (rlnc.SegmentID, bool) {
+	if len(p.segIDs) == 0 {
+		return rlnc.SegmentID{}, false
+	}
+	return p.segIDs[p.rng.Intn(len(p.segIDs))], true
+}
+
+// Recode produces a fresh coded block of the segment from the buffered
+// blocks, as gossip and pull-serve require. It panics when the segment is
+// not buffered (a protocol-logic error in the driver).
+func (p *Peer) Recode(seg rlnc.SegmentID) *rlnc.CodedBlock {
+	h := p.holdings[seg]
+	if h == nil {
+		panic("peercore: Recode of segment not buffered")
+	}
+	return h.Recode(p.rng)
+}
+
+// ExpireBlock removes one specific stored block (the event-driven TTL path)
+// and reports whether it was present. Blocks already gone — purged, never
+// stored here, or swept — are a no-op.
+func (p *Peer) ExpireBlock(cb *rlnc.CodedBlock) bool {
+	h := p.holdings[cb.Seg]
+	if h == nil || !h.RemoveBlock(cb) {
+		return false
+	}
+	delete(p.deadlines, cb)
+	p.sink.Count(EvBlockLostTTL, 1)
+	if h.Len() == 0 {
+		p.dropHolding(cb.Seg)
+	}
+	p.occupancy--
+	return true
+}
+
+// ExpireDue removes every block whose TTL deadline has passed (the
+// sweep-based TTL path) and returns how many were removed.
+func (p *Peer) ExpireDue(now float64) int {
+	removed := 0
+	for i := 0; i < len(p.segIDs); i++ {
+		h := p.holdings[p.segIDs[i]]
+		for _, cb := range append([]*rlnc.CodedBlock(nil), h.Blocks()...) {
+			if deadline, ok := p.deadlines[cb]; ok && now > deadline {
+				h.RemoveBlock(cb)
+				delete(p.deadlines, cb)
+				p.occupancy--
+				removed++
+				p.sink.Count(EvBlockLostTTL, 1)
+			}
+		}
+		if h.Len() == 0 {
+			p.dropHolding(p.segIDs[i])
+			i--
+		}
+	}
+	return removed
+}
+
+// DropSegment evicts every buffered block of the segment (the server
+// feedback purge) and returns how many blocks were removed. Their pending
+// TTLs become no-ops.
+func (p *Peer) DropSegment(seg rlnc.SegmentID) int {
+	h := p.holdings[seg]
+	if h == nil {
+		return 0
+	}
+	n := h.Len()
+	for _, cb := range h.Blocks() {
+		delete(p.deadlines, cb)
+	}
+	p.dropHolding(seg)
+	p.occupancy -= n
+	return n
+}
+
+// Clear evicts everything, as when the peer departs the session.
+func (p *Peer) Clear() {
+	p.holdings = make(map[rlnc.SegmentID]*rlnc.Holding)
+	p.segIDs = nil
+	p.segPos = make(map[rlnc.SegmentID]int)
+	p.deadlines = make(map[*rlnc.CodedBlock]float64)
+	p.occupancy = 0
+}
+
+// dropHolding unregisters an empty (or purged) holding from the sampling
+// list in O(1).
+func (p *Peer) dropHolding(seg rlnc.SegmentID) {
+	pos := p.segPos[seg]
+	last := len(p.segIDs) - 1
+	moved := p.segIDs[last]
+	p.segIDs[pos] = moved
+	p.segPos[moved] = pos
+	p.segIDs = p.segIDs[:last]
+	delete(p.segPos, seg)
+	delete(p.holdings, seg)
+}
+
+// CheckInvariants verifies the peer's internal bookkeeping against a full
+// recount and returns the first inconsistency found.
+func (p *Peer) CheckInvariants() error {
+	var occ, deadlined int
+	for seg, h := range p.holdings {
+		if h.Len() == 0 {
+			return fmt.Errorf("peercore: empty holding for %v retained", seg)
+		}
+		if h.Len() > p.cfg.SegmentSize {
+			return fmt.Errorf("peercore: %d blocks of %v, cap s=%d", h.Len(), seg, p.cfg.SegmentSize)
+		}
+		pos, ok := p.segPos[seg]
+		if !ok || pos < 0 || pos >= len(p.segIDs) || p.segIDs[pos] != seg {
+			return fmt.Errorf("peercore: holding %v missing from sampling list", seg)
+		}
+		occ += h.Len()
+		for _, cb := range h.Blocks() {
+			if _, ok := p.deadlines[cb]; ok {
+				deadlined++
+			}
+		}
+	}
+	if occ != p.occupancy {
+		return fmt.Errorf("peercore: occupancy %d, recount %d", p.occupancy, occ)
+	}
+	if occ > p.cfg.BufferCap {
+		return fmt.Errorf("peercore: occupancy %d over buffer cap %d", occ, p.cfg.BufferCap)
+	}
+	if len(p.segIDs) != len(p.holdings) {
+		return fmt.Errorf("peercore: sampling list length %d, holdings %d", len(p.segIDs), len(p.holdings))
+	}
+	if deadlined != occ || len(p.deadlines) != occ {
+		return fmt.Errorf("peercore: %d deadlines for %d stored blocks (%d matched)", len(p.deadlines), occ, deadlined)
+	}
+	return nil
+}

@@ -1,0 +1,333 @@
+package peercore
+
+import (
+	"testing"
+
+	"p2pcollect/internal/randx"
+	"p2pcollect/internal/rlnc"
+)
+
+func newTestPeer(t *testing.T, cap int, sink EventSink) *Peer {
+	t.Helper()
+	return NewPeer(7, PeerConfig{SegmentSize: 4, BufferCap: cap, Gamma: 1}, randx.New(1), sink)
+}
+
+func TestInjectStoresFullSegment(t *testing.T) {
+	sink := NewCounters()
+	p := newTestPeer(t, 16, sink)
+	seg, stored, ok := p.Inject(0, nil)
+	if !ok {
+		t.Fatal("inject rejected with room available")
+	}
+	if seg.Origin != 7 || seg.Seq != 0 {
+		t.Fatalf("segment ID = %+v, want origin 7 seq 0", seg)
+	}
+	if len(stored) != 4 {
+		t.Fatalf("stored %d blocks, want 4", len(stored))
+	}
+	for _, st := range stored {
+		if st.TTL <= 0 || st.Deadline != st.TTL {
+			t.Fatalf("block TTL %g deadline %g, want positive TTL with deadline = now+TTL", st.TTL, st.Deadline)
+		}
+	}
+	if p.Occupancy() != 4 || p.NumSegments() != 1 || !p.HoldingFull(seg) {
+		t.Fatalf("occupancy %d segments %d full=%v after inject", p.Occupancy(), p.NumSegments(), p.HoldingFull(seg))
+	}
+	if got := sink.Get(EvInjectedSegment); got != 1 {
+		t.Fatalf("injectedSegments = %d, want 1", got)
+	}
+	if got := sink.Get(EvBlockStored); got != 4 {
+		t.Fatalf("blocksStored = %d, want 4", got)
+	}
+	// Next injection advances the sequence number.
+	if seg2, _, ok := p.Inject(1, nil); !ok || seg2.Seq != 1 {
+		t.Fatalf("second inject = %+v ok=%v, want seq 1", seg2, ok)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInjectSuppressedAtCap(t *testing.T) {
+	sink := NewCounters()
+	p := newTestPeer(t, 7, sink) // room for one segment, not two
+	if _, _, ok := p.Inject(0, nil); !ok {
+		t.Fatal("first inject rejected")
+	}
+	called := false
+	if _, _, ok := p.Inject(1, func() [][]byte { called = true; return nil }); ok {
+		t.Fatal("inject accepted above B-s")
+	}
+	if called {
+		t.Fatal("payload callback invoked for a suppressed injection")
+	}
+	if got := sink.Get(EvSuppressedInjection); got != 1 {
+		t.Fatalf("suppressedInjections = %d, want 1", got)
+	}
+}
+
+func TestInjectWithPayloads(t *testing.T) {
+	p := newTestPeer(t, 16, nil)
+	seg, stored, ok := p.Inject(0, func() [][]byte {
+		return [][]byte{{1, 2}, {3, 4}, {5, 6}, {7, 8}}
+	})
+	if !ok {
+		t.Fatal("inject rejected")
+	}
+	for i, st := range stored {
+		if len(st.Block.Payload) != 2 {
+			t.Fatalf("block %d payload %v", i, st.Block.Payload)
+		}
+		if st.Block.Coeffs[i] != 1 {
+			t.Fatalf("block %d lacks unit coefficient", i)
+		}
+	}
+	_ = seg
+}
+
+func TestStoreRejectsRedundantAndFullBuffer(t *testing.T) {
+	sink := NewCounters()
+	p := newTestPeer(t, 8, sink)
+	seg, stored, _ := p.Inject(0, nil)
+	// A duplicate of a held block is redundant.
+	dup := &rlnc.CodedBlock{Seg: seg, Coeffs: append([]byte(nil), stored[0].Block.Coeffs...)}
+	if res := p.Store(0, dup); res.Stored || res.NoRoom {
+		t.Fatalf("duplicate block: %+v, want redundant rejection", res)
+	}
+	if got := sink.Get(EvRedundantBlock); got != 1 {
+		t.Fatalf("redundantBlocks = %d, want 1", got)
+	}
+	// At capacity the cap check fires before the rank test: even a
+	// would-be-redundant block gets NoRoom, and no holding state is left.
+	p.Inject(0, nil) // buffer now at cap 8
+	other := &rlnc.CodedBlock{Seg: rlnc.SegmentID{Origin: 9}, Coeffs: []byte{1, 0, 0, 0}}
+	if res := p.Store(0, other); !res.NoRoom {
+		t.Fatalf("store at cap: %+v, want NoRoom", res)
+	}
+	if p.Holds(other.Seg) || p.NumSegments() != 2 {
+		t.Fatal("rejected block left holding state behind")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRedundantFirstBlockLeavesNoEmptyHolding(t *testing.T) {
+	p := newTestPeer(t, 16, nil)
+	zero := &rlnc.CodedBlock{Seg: rlnc.SegmentID{Origin: 3}, Coeffs: []byte{0, 0, 0, 0}}
+	if res := p.Store(0, zero); res.Stored {
+		t.Fatal("zero block stored")
+	}
+	if p.NumSegments() != 0 || p.Holds(zero.Seg) {
+		t.Fatal("empty holding retained after redundant first block")
+	}
+}
+
+func TestExpireBlockPaths(t *testing.T) {
+	sink := NewCounters()
+	p := newTestPeer(t, 16, sink)
+	seg, stored, _ := p.Inject(0, nil)
+	if !p.ExpireBlock(stored[0].Block) {
+		t.Fatal("live block not expired")
+	}
+	if p.ExpireBlock(stored[0].Block) {
+		t.Fatal("double expiry reported success")
+	}
+	if p.Occupancy() != 3 || p.HoldingFull(seg) {
+		t.Fatalf("occupancy %d full=%v after expiry", p.Occupancy(), p.HoldingFull(seg))
+	}
+	for _, st := range stored[1:] {
+		p.ExpireBlock(st.Block)
+	}
+	if p.Holds(seg) || p.NumSegments() != 0 || p.Occupancy() != 0 {
+		t.Fatal("holding survived expiry of all its blocks")
+	}
+	if got := sink.Get(EvBlockLostTTL); got != 4 {
+		t.Fatalf("blocksLostToTTL = %d, want 4", got)
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExpireDueSweep(t *testing.T) {
+	p := newTestPeer(t, 64, nil)
+	_, stored, _ := p.Inject(0, nil)
+	p.Inject(0, nil)
+	// Find the latest deadline in the first segment; sweep just past it.
+	cut := 0.0
+	for _, st := range stored {
+		if st.Deadline > cut {
+			cut = st.Deadline
+		}
+	}
+	removed := p.ExpireDue(cut * 1e6) // far future: everything expires
+	if removed != 8 || p.Occupancy() != 0 || p.NumSegments() != 0 {
+		t.Fatalf("swept %d, occupancy %d, segments %d; want full sweep", removed, p.Occupancy(), p.NumSegments())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDropSegmentAndClear(t *testing.T) {
+	p := newTestPeer(t, 64, nil)
+	seg1, _, _ := p.Inject(0, nil)
+	p.Inject(0, nil)
+	if n := p.DropSegment(seg1); n != 4 {
+		t.Fatalf("dropped %d blocks, want 4", n)
+	}
+	if p.DropSegment(seg1) != 0 {
+		t.Fatal("second drop removed blocks")
+	}
+	if p.Occupancy() != 4 || p.NumSegments() != 1 {
+		t.Fatalf("occupancy %d segments %d after drop", p.Occupancy(), p.NumSegments())
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	p.Clear()
+	if p.Occupancy() != 0 || p.NumSegments() != 0 {
+		t.Fatal("clear left state behind")
+	}
+	if err := p.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNeedsBlocksEligibility(t *testing.T) {
+	p := newTestPeer(t, 8, nil)
+	seg, _, _ := p.Inject(0, nil)
+	if p.NeedsBlocks(seg) {
+		t.Fatal("full holding reported as needing blocks")
+	}
+	other := rlnc.SegmentID{Origin: 9}
+	if !p.NeedsBlocks(other) {
+		t.Fatal("unseen segment with buffer room not eligible")
+	}
+	p.Inject(0, nil) // buffer now at cap
+	if p.NeedsBlocks(other) {
+		t.Fatal("peer at buffer cap still eligible")
+	}
+}
+
+func TestSampleAndRecode(t *testing.T) {
+	p := newTestPeer(t, 64, nil)
+	if _, ok := p.SampleSegment(); ok {
+		t.Fatal("sampled from empty buffer")
+	}
+	seg, _, _ := p.Inject(0, nil)
+	got, ok := p.SampleSegment()
+	if !ok || got != seg {
+		t.Fatalf("sampled %+v ok=%v, want %+v", got, ok, seg)
+	}
+	cb := p.Recode(seg)
+	if cb.Seg != seg || len(cb.Coeffs) != 4 {
+		t.Fatalf("recoded block %+v", cb)
+	}
+}
+
+func TestCollectorStateAndRankAccounting(t *testing.T) {
+	sink := NewCounters()
+	c := NewCollector(CollectorConfig{SegmentSize: 2}, sink)
+	seg := rlnc.SegmentID{Origin: 1}
+	b1 := &rlnc.CodedBlock{Seg: seg, Coeffs: []byte{1, 0}, Payload: []byte{10}}
+	b2 := &rlnc.CodedBlock{Seg: seg, Coeffs: []byte{0, 1}, Payload: []byte{20}}
+
+	out, col, err := c.Receive(1, b1)
+	if err != nil || !out.Useful || out.Delivered || !out.Innovative || out.Decoded {
+		t.Fatalf("first pull: %+v err=%v", out, err)
+	}
+	// The same block again: still useful for the state counter (the paper's
+	// state-based accounting cannot see redundancy), not innovative.
+	out, _, err = c.Receive(2, b1)
+	if err != nil || !out.Useful || !out.Delivered || out.Innovative {
+		t.Fatalf("repeat pull: %+v err=%v", out, err)
+	}
+	if !col.Delivered() || col.DeliveredAt() != 2 || col.State() != 2 || col.Rank() != 1 {
+		t.Fatalf("collection after delivery: state=%d rank=%d deliveredAt=%g", col.State(), col.Rank(), col.DeliveredAt())
+	}
+	// Past state s the pull is redundant, but the decoder can still finish.
+	out, _, err = c.Receive(3, b2)
+	if err != nil || out.Useful || !out.Innovative || !out.Decoded {
+		t.Fatalf("post-delivery pull: %+v err=%v", out, err)
+	}
+	if !col.Decoded() || col.DecodedAt() != 3 {
+		t.Fatalf("decodedAt = %g, want 3", col.DecodedAt())
+	}
+	if data, err := col.Decode(); err != nil || data[0][0] != 10 || data[1][0] != 20 {
+		t.Fatalf("decoded %v err=%v", data, err)
+	}
+	if sink.Get(EvServerPull) != 3 || sink.Get(EvUsefulPull) != 2 ||
+		sink.Get(EvRedundantPull) != 1 || sink.Get(EvInnovativePull) != 2 ||
+		sink.Get(EvDeliveredSegment) != 1 || sink.Get(EvDecodedSegment) != 1 {
+		t.Fatalf("counters: %v", sink.Snapshot())
+	}
+}
+
+func TestCollectorRejectsMalformedBeforeCounting(t *testing.T) {
+	sink := NewCounters()
+	c := NewCollector(CollectorConfig{SegmentSize: 2}, sink)
+	seg := rlnc.SegmentID{Origin: 1}
+	if _, _, err := c.Receive(1, &rlnc.CodedBlock{Seg: seg, Coeffs: []byte{1}}); err == nil {
+		t.Fatal("short coefficient vector accepted")
+	}
+	c.Receive(1, &rlnc.CodedBlock{Seg: seg, Coeffs: []byte{1, 0}, Payload: []byte{1, 2}})
+	if _, _, err := c.Receive(2, &rlnc.CodedBlock{Seg: seg, Coeffs: []byte{0, 1}, Payload: []byte{1}}); err == nil {
+		t.Fatal("payload length mismatch accepted")
+	}
+	if sink.Get(EvServerPull) != 1 {
+		t.Fatalf("serverPulls = %d after malformed blocks, want 1", sink.Get(EvServerPull))
+	}
+}
+
+func TestCollectorRankOnlyObserve(t *testing.T) {
+	c := NewCollector(CollectorConfig{SegmentSize: 2, RankOnly: true}, nil)
+	seg := rlnc.SegmentID{Origin: 4}
+	// Payload-bearing blocks are fine: rank-only decoders ignore payloads.
+	if inn, done, err := c.Observe(1, &rlnc.CodedBlock{Seg: seg, Coeffs: []byte{1, 1}, Payload: []byte{9}}); err != nil || !inn || done {
+		t.Fatalf("observe 1: inn=%v done=%v err=%v", inn, done, err)
+	}
+	if inn, done, err := c.Observe(2, &rlnc.CodedBlock{Seg: seg, Coeffs: []byte{1, 1}}); err != nil || inn || done {
+		t.Fatalf("observe dup: inn=%v done=%v err=%v", inn, done, err)
+	}
+	if inn, done, err := c.Observe(3, &rlnc.CodedBlock{Seg: seg, Coeffs: []byte{0, 1}}); err != nil || !inn || !done {
+		t.Fatalf("observe 2: inn=%v done=%v err=%v", inn, done, err)
+	}
+	if col := c.Collection(seg); col == nil || col.Rank() != 2 || col.DecodedAt() != 3 {
+		t.Fatal("rank-only collection state wrong")
+	}
+}
+
+func TestCollectorOpenForget(t *testing.T) {
+	c := NewCollector(CollectorConfig{SegmentSize: 2}, nil)
+	seg := rlnc.SegmentID{Origin: 2}
+	col := c.Open(seg, 0)
+	if col == nil || c.OpenCount() != 1 || c.Open(seg, 0) != col {
+		t.Fatal("open not idempotent")
+	}
+	if col.State() != 0 || col.Delivered() {
+		t.Fatal("fresh collection not zeroed")
+	}
+	c.Forget(seg)
+	if c.OpenCount() != 0 || c.Collection(seg) != nil {
+		t.Fatal("forget did not remove collection")
+	}
+}
+
+func TestCountersSnapshotNames(t *testing.T) {
+	sink := NewCounters()
+	sink.Count(EvGossipSend, 3)
+	snap := sink.Snapshot()
+	if len(snap) != int(numEvents) {
+		t.Fatalf("snapshot has %d names, want %d", len(snap), numEvents)
+	}
+	if snap["gossipSends"] != 3 {
+		t.Fatalf("gossipSends = %d, want 3", snap["gossipSends"])
+	}
+	for ev := Event(0); ev < numEvents; ev++ {
+		if ev.String() == "" || ev.String() == "unknownEvent" {
+			t.Fatalf("event %d has no name", ev)
+		}
+	}
+}

@@ -236,6 +236,11 @@ type Result struct {
 	Departures       int64
 	BlocksLostToTTL  int64
 	BlocksLostToExit int64
+
+	// ProtocolCounters is the full shared peercore counter snapshot, under
+	// the same names the live runtime reports in NodeStats.Protocol and
+	// ServerStats.Protocol.
+	ProtocolCounters map[string]int64
 }
 
 // CollectionEfficiency returns the fraction of server pulls that advanced a

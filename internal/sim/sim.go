@@ -6,6 +6,7 @@ import (
 	"p2pcollect/internal/des"
 	"p2pcollect/internal/logdata"
 	"p2pcollect/internal/metrics"
+	"p2pcollect/internal/peercore"
 	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 	"p2pcollect/internal/topology"
@@ -18,6 +19,11 @@ const targetRetries = 40
 // Simulator runs the indirect-collection protocol as a discrete-event
 // simulation. Construct with New, drive with RunUntil or Run, then read
 // Result.
+//
+// The protocol state machines — per-peer buffers and server collections —
+// live in internal/peercore and are shared verbatim with the live runtime;
+// this package contributes only the discrete-event drive: process
+// scheduling, overlay sampling, churn, and the measurement window.
 type Simulator struct {
 	cfg   Config
 	rng   *randx.Rand
@@ -26,6 +32,11 @@ type Simulator struct {
 	peers []*peerState
 	segs  map[rlnc.SegmentID]*segMeta
 
+	counters *peercore.Counters
+	pcfg     peercore.PeerConfig
+	pool     *peercore.Collector   // collaborating state + union rank
+	perSrv   []*peercore.Collector // per-server collections (IndependentServers)
+
 	nonEmpty   *indexSet
 	nextPeerID uint64
 
@@ -33,34 +44,21 @@ type Simulator struct {
 	totalBlocks int64
 	saved       int64 // segments with degree >= s and collection state < s
 
-	// accumulated measurements
-	injectedSegments     int64
-	injectedBlocks       int64
-	suppressedInjections int64
-	deliveredInWindow    int64 // state-based (the paper's accounting)
-	usefulInWindow       int64
-	stateDelay           metrics.Summary
-	rankDecodedInWindow  int64 // rank-based (ground truth)
-	innovativeInWindow   int64
-	rankDelay            metrics.Summary
-	blocksPerPeer        metrics.Summary
-	nonEmptyFrac         metrics.Summary
-	savedPerPeer         metrics.Summary
-	lostSegments         int64
-	rankLostSegments     int64
-	serverPulls          int64
-	usefulPulls          int64
-	redundantPulls       int64
-	innovativePulls      int64
-	gossipSends          int64
-	redundantGossip      int64
-	noTargetGossip       int64
-	departures           int64
-	blocksLostToTTL      int64
-	blocksLostToExit     int64
-	orphanedSegments     int64
-	postmortemDelivered  int64
-	purgedByFeedback     int64
+	// clock-windowed measurements (the protocol event counters live in
+	// s.counters, shared vocabulary with the live runtime)
+	deliveredInWindow   int64 // state-based (the paper's accounting)
+	usefulInWindow      int64
+	stateDelay          metrics.Summary
+	rankDecodedInWindow int64 // rank-based (ground truth)
+	innovativeInWindow  int64
+	rankDelay           metrics.Summary
+	blocksPerPeer       metrics.Summary
+	nonEmptyFrac        metrics.Summary
+	savedPerPeer        metrics.Summary
+	lostSegments        int64
+	rankLostSegments    int64
+	orphanedSegments    int64
+	postmortemDelivered int64
 
 	// onDecode, when non-nil, observes every rank-based reconstruction;
 	// onDeliver observes every state-based delivery.
@@ -85,32 +83,27 @@ type TracePoint struct {
 }
 
 // peerState is the per-slot state; the slot survives churn, the identity
-// does not.
+// does not. The protocol state machine itself is the peercore.Peer.
 type peerState struct {
-	id        uint64
-	gen       uint64 // bumped on replacement to invalidate pending TTLs
-	dead      bool   // departed without replacement; slot inert
-	seq       uint64 // per-identity segment counter
-	holdings  map[rlnc.SegmentID]*rlnc.Holding
-	segIDs    []rlnc.SegmentID
-	segPos    map[rlnc.SegmentID]int
-	occupancy int
-	logGen    *logdata.Generator // payload mode only
+	id     uint64
+	gen    uint64 // bumped on replacement to invalidate pending TTLs
+	dead   bool   // departed without replacement; slot inert
+	core   *peercore.Peer
+	logGen *logdata.Generator // payload mode only
 }
 
-// segMeta is the global bookkeeping for one segment: its network degree,
-// the paper's server collection state (a counter advanced on every pull
-// while below s), and the true server-side decoder rank.
+// segMeta is the global bookkeeping for one segment: its network degree and
+// the server-side collections. deliveredAt/decodedAt are the network-wide
+// first-success times (in IndependentServers mode the first server to get
+// there wins).
 type segMeta struct {
 	id          rlnc.SegmentID
 	injectTime  float64
 	degree      int
-	pullState   int             // collaborating-server collection state
-	perServer   []int           // per-server states (IndependentServers mode)
-	deliveredAt float64         // state reached s; negative until then
-	dec         *rlnc.Decoder   // pooled decoder basis
-	perDec      []*rlnc.Decoder // per-server decoders (IndependentServers mode)
-	decodedAt   float64         // full rank reached; negative until then
+	col         *peercore.Collection   // pooled: collaborating state + union rank
+	perCol      []*peercore.Collection // per-server (IndependentServers mode)
+	deliveredAt float64                // state reached s; negative until then
+	decodedAt   float64                // full rank reached; negative until then
 	// originDeparted marks segments whose origin peer left before the
 	// segment was delivered — the "statistics from departed peers" the
 	// paper's introduction argues are the most valuable.
@@ -147,6 +140,27 @@ func New(cfg Config) (*Simulator, error) {
 		clock:    des.New(),
 		segs:     make(map[rlnc.SegmentID]*segMeta),
 		nonEmpty: newIndexSet(cfg.N),
+		counters: peercore.NewCounters(),
+		pcfg: peercore.PeerConfig{
+			SegmentSize: cfg.SegmentSize,
+			BufferCap:   cfg.BufferCap,
+			Gamma:       cfg.Gamma,
+		},
+	}
+	// In IndependentServers mode the pooled collector only tracks the union
+	// rank (via Observe); the state machines that count are per-server.
+	s.pool = peercore.NewCollector(peercore.CollectorConfig{
+		SegmentSize: cfg.SegmentSize,
+		RankOnly:    cfg.IndependentServers,
+	}, s.counters)
+	if cfg.IndependentServers {
+		s.perSrv = make([]*peercore.Collector, cfg.NumServers)
+		for j := range s.perSrv {
+			s.perSrv[j] = peercore.NewCollector(peercore.CollectorConfig{
+				SegmentSize: cfg.SegmentSize,
+				RankOnly:    true,
+			}, s.counters)
+		}
 	}
 	if cfg.Degree > 0 {
 		g, err := topology.RandomKNeighbor(cfg.N, cfg.Degree, s.rng)
@@ -218,30 +232,39 @@ func (s *Simulator) RemovePeer(pi int) {
 	if p.dead {
 		return
 	}
-	s.departures++
-	for _, segID := range p.segIDs {
-		n := p.holdings[segID].Len()
-		for k := 0; k < n; k++ {
-			s.blocksLostToExit++
-			s.noteBlockRemoved(segID)
-		}
-	}
-	for _, m := range s.segs {
-		if m.id.Origin == p.id && !m.delivered() && !m.originDeparted {
-			m.originDeparted = true
-			s.orphanedSegments++
-		}
-	}
+	s.counters.Count(peercore.EvDeparture, 1)
+	s.dropPeerBlocks(p)
+	s.markOrphans(p)
 	p.gen++ // invalidate pending TTL events
 	p.dead = true
-	p.holdings = make(map[rlnc.SegmentID]*rlnc.Holding)
-	p.segIDs = nil
-	p.segPos = make(map[rlnc.SegmentID]int)
-	p.occupancy = 0
+	p.core.Clear()
 	s.nonEmpty.remove(pi)
 	if s.graph != nil {
 		for _, v := range append([]int(nil), s.graph.Neighbors(pi)...) {
 			s.graph.RemoveEdge(pi, v)
+		}
+	}
+}
+
+// dropPeerBlocks accounts for every buffered block of a departing peer
+// leaving the network.
+func (s *Simulator) dropPeerBlocks(p *peerState) {
+	for i := 0; i < p.core.NumSegments(); i++ {
+		segID := p.core.SegmentAt(i)
+		n := p.core.BlocksOf(segID)
+		for k := 0; k < n; k++ {
+			s.counters.Count(peercore.EvBlockLostExit, 1)
+			s.noteBlockRemoved(segID)
+		}
+	}
+}
+
+// markOrphans flags the departing peer's undelivered segments.
+func (s *Simulator) markOrphans(p *peerState) {
+	for _, m := range s.segs {
+		if m.id.Origin == p.id && !m.delivered() && !m.originDeparted {
+			m.originDeparted = true
+			s.orphanedSegments++
 		}
 	}
 }
@@ -269,9 +292,8 @@ func Run(cfg Config) (*Result, error) {
 
 func (s *Simulator) newPeer() *peerState {
 	p := &peerState{
-		id:       s.nextPeerID,
-		holdings: make(map[rlnc.SegmentID]*rlnc.Holding),
-		segPos:   make(map[rlnc.SegmentID]int),
+		id:   s.nextPeerID,
+		core: peercore.NewPeer(s.nextPeerID, s.pcfg, s.rng, s.counters),
 	}
 	if s.cfg.PayloadLen > 0 {
 		p.logGen = logdata.NewGenerator(p.id, s.rng)
@@ -285,6 +307,10 @@ func (s *Simulator) Now() float64 { return s.clock.Now() }
 
 // Config returns the (defaulted) configuration of the run.
 func (s *Simulator) Config() Config { return s.cfg }
+
+// Counters returns the shared protocol counter snapshot, keyed by the
+// peercore event vocabulary (the same names live nodes report).
+func (s *Simulator) Counters() map[string]int64 { return s.counters.Snapshot() }
 
 // RunUntil advances the simulation to the given time.
 func (s *Simulator) RunUntil(t float64) { s.clock.RunUntil(t) }
@@ -320,9 +346,9 @@ func (s *Simulator) recordTrace() {
 		T:                    s.clock.Now(),
 		E:                    float64(s.totalBlocks) / n,
 		Z0:                   1 - float64(s.nonEmpty.len())/n,
-		CumServerPulls:       s.serverPulls,
-		CumUsefulPulls:       s.usefulPulls,
-		CumInjectedBlocks:    s.injectedBlocks,
+		CumServerPulls:       s.counters.Get(peercore.EvServerPull),
+		CumUsefulPulls:       s.counters.Get(peercore.EvUsefulPull),
+		CumInjectedBlocks:    s.counters.Get(peercore.EvInjectedBlock),
 		CumDeliveredSegments: s.deliveredInWindow,
 		Population:           pop,
 	})
@@ -352,8 +378,8 @@ func (m *segMeta) view() SegmentView {
 	return SegmentView{
 		ID:          m.id,
 		Degree:      m.degree,
-		PullState:   m.pullState,
-		ServerRank:  m.dec.Rank(),
+		PullState:   m.col.State(),
+		ServerRank:  m.col.Rank(),
 		InjectTime:  m.injectTime,
 		DeliveredAt: m.deliveredAt,
 		Delivered:   m.delivered(),
@@ -377,41 +403,30 @@ func (s *Simulator) injectTick(pi int) {
 
 func (s *Simulator) inject(pi int) {
 	p := s.peers[pi]
-	size := s.cfg.SegmentSize
-	if p.occupancy > s.cfg.BufferCap-size {
-		s.suppressedInjections++
+	var payloads func() [][]byte
+	if s.cfg.PayloadLen > 0 {
+		payloads = func() [][]byte { return s.makePayloads(p, s.cfg.SegmentSize) }
+	}
+	segID, stored, ok := p.core.Inject(s.clock.Now(), payloads)
+	if !ok {
 		return
 	}
-	segID := rlnc.SegmentID{Origin: p.id, Seq: p.seq}
-	p.seq++
 	meta := &segMeta{
 		id:          segID,
 		injectTime:  s.clock.Now(),
-		dec:         rlnc.NewDecoder(segID, size, s.cfg.PayloadLen),
+		col:         s.pool.Open(segID, s.cfg.PayloadLen),
 		deliveredAt: -1,
 		decodedAt:   -1,
 	}
 	if s.cfg.IndependentServers {
-		meta.perServer = make([]int, s.cfg.NumServers)
-		meta.perDec = make([]*rlnc.Decoder, s.cfg.NumServers)
-		for j := range meta.perDec {
-			meta.perDec[j] = rlnc.NewDecoder(segID, size, 0)
+		meta.perCol = make([]*peercore.Collection, s.cfg.NumServers)
+		for j := range meta.perCol {
+			meta.perCol[j] = s.perSrv[j].Open(segID, 0)
 		}
 	}
 	s.segs[segID] = meta
-	s.injectedSegments++
-	s.injectedBlocks += int64(size)
-	payloads := s.makePayloads(p, size)
-	for i := 0; i < size; i++ {
-		coeffs := make([]byte, size)
-		coeffs[i] = 1
-		cb := &rlnc.CodedBlock{Seg: segID, Coeffs: coeffs}
-		if payloads != nil {
-			cb.Payload = payloads[i]
-		}
-		if !s.storeBlock(pi, cb) {
-			panic("sim: source block not innovative")
-		}
+	for _, st := range stored {
+		s.noteStored(pi, st.Block, st.TTL)
 	}
 }
 
@@ -446,7 +461,7 @@ func (s *Simulator) gossipTick(pi int) {
 
 func (s *Simulator) gossip(pi int) {
 	p := s.peers[pi]
-	if p.occupancy == 0 {
+	if p.core.Occupancy() == 0 {
 		return // the (1 − z_0) idle factor of eq. (1)
 	}
 	sender := pi
@@ -461,18 +476,37 @@ func (s *Simulator) gossip(pi int) {
 			return
 		}
 	} else {
-		segID = p.segIDs[s.rng.Intn(len(p.segIDs))]
+		segID, _ = p.core.SampleSegment()
 	}
 	target := s.pickTarget(sender, segID)
 	if target < 0 {
-		s.noTargetGossip++
+		s.counters.Count(peercore.EvNoTargetGossip, 1)
 		return
 	}
-	cb := s.peers[sender].holdings[segID].Recode(s.rng)
-	s.gossipSends++
-	if !s.storeBlock(target, cb) {
-		s.redundantGossip++
+	cb := s.peers[sender].core.Recode(segID)
+	s.counters.Count(peercore.EvGossipSend, 1)
+	res := s.peers[target].core.Store(s.clock.Now(), cb)
+	if !res.Stored {
+		s.counters.Count(peercore.EvRedundantGossip, 1)
+		return
 	}
+	s.noteStored(target, cb, res.TTL)
+}
+
+// noteStored does the network-level bookkeeping for one block the peer
+// core just accepted: the edge count, the segment degree, and the TTL
+// event carrying the core's exact lifetime sample.
+func (s *Simulator) noteStored(pi int, cb *rlnc.CodedBlock, ttl float64) {
+	p := s.peers[pi]
+	s.nonEmpty.add(pi)
+	s.totalBlocks++
+	meta := s.segs[cb.Seg]
+	meta.degree++
+	if meta.degree == s.cfg.SegmentSize && !meta.delivered() {
+		s.saved++
+	}
+	gen := p.gen
+	s.clock.After(ttl, func() { s.expireBlock(pi, gen, cb) })
 }
 
 // sampleEdge returns a uniformly random (holder, segment) block copy, the
@@ -487,13 +521,14 @@ func (s *Simulator) sampleEdge() (int, rlnc.SegmentID, bool) {
 		if !ok {
 			return 0, rlnc.SegmentID{}, false
 		}
-		p := s.peers[pi]
-		if s.rng.Float64()*float64(s.cfg.BufferCap) >= float64(p.occupancy) {
+		c := s.peers[pi].core
+		if s.rng.Float64()*float64(s.cfg.BufferCap) >= float64(c.Occupancy()) {
 			continue
 		}
-		k := s.rng.Intn(p.occupancy)
-		for _, segID := range p.segIDs {
-			k -= p.holdings[segID].Len()
+		k := s.rng.Intn(c.Occupancy())
+		for i := 0; i < c.NumSegments(); i++ {
+			segID := c.SegmentAt(i)
+			k -= c.BlocksOf(segID)
 			if k < 0 {
 				return pi, segID, true
 			}
@@ -531,11 +566,7 @@ func (s *Simulator) pickTarget(pi int, segID rlnc.SegmentID) int {
 
 func (s *Simulator) eligibleTarget(d int, segID rlnc.SegmentID) bool {
 	pd := s.peers[d]
-	if pd.dead || pd.occupancy >= s.cfg.BufferCap {
-		return false
-	}
-	h := pd.holdings[segID]
-	return h == nil || !h.Full()
+	return !pd.dead && pd.core.NeedsBlocks(segID)
 }
 
 func (s *Simulator) pullTick(server int, rate float64) {
@@ -554,79 +585,59 @@ func (s *Simulator) pull(server int) {
 	} else {
 		pi, ok = s.nonEmpty.sample(s.rng)
 		if ok {
-			p := s.peers[pi]
-			segID = p.segIDs[s.rng.Intn(len(p.segIDs))]
+			segID, _ = s.peers[pi].core.SampleSegment()
 		}
 	}
 	if !ok {
 		return
 	}
-	cb := s.peers[pi].holdings[segID].Recode(s.rng)
-	s.serverPulls++
+	cb := s.peers[pi].core.Recode(segID)
 	now := s.clock.Now()
 	meta := s.segs[segID]
-	size := s.cfg.SegmentSize
 
 	// The paper's accounting: every pull on a segment whose collection
-	// state is below s is useful and advances the state (§3). In
-	// independent mode the state is the pulling server's own.
-	state := &meta.pullState
+	// state is below s is useful and advances the state (§3); the decoder
+	// grounds it in actual linear innovation. In independent mode the
+	// receiving collection is the pulling server's own, and the pooled
+	// collector silently tracks the union rank for extinction accounting.
+	col := s.pool
 	if s.cfg.IndependentServers {
-		state = &meta.perServer[server]
-	}
-	if *state < size {
-		*state++
-		s.usefulPulls++
-		if now >= s.cfg.Warmup {
-			s.usefulInWindow++
-		}
-		if *state == size && !meta.delivered() {
-			meta.deliveredAt = now
-			if meta.degree >= size {
-				s.saved--
-			}
-			if meta.originDeparted {
-				s.postmortemDelivered++
-			}
-			if now >= s.cfg.Warmup {
-				s.deliveredInWindow++
-				s.stateDelay.Add(now - meta.injectTime)
-			}
-			if s.onDeliver != nil {
-				s.onDeliver(meta.view())
-			}
-			if s.cfg.ServerFeedback {
-				s.purgeSegment(meta.id)
-			}
-		}
-	} else {
-		s.redundantPulls++
-	}
-
-	// Ground-truth accounting: the coded block actually received.
-	dec := meta.dec
-	if s.cfg.IndependentServers {
-		dec = meta.perDec[server]
-		// The pooled decoder still tracks the union for LostSegments
-		// semantics; in independent mode only the per-server basis counts
-		// for decode metrics.
-		rankCopy := &rlnc.CodedBlock{Seg: cb.Seg, Coeffs: append([]byte(nil), cb.Coeffs...)}
-		if _, err := meta.dec.Add(rankCopy); err != nil {
+		col = s.perSrv[server]
+		if _, _, err := s.pool.Observe(now, cb); err != nil {
 			panic(fmt.Sprintf("sim: pooled decode: %v", err))
 		}
 	}
-	innovative, err := dec.Add(cb)
+	out, _, err := col.Receive(now, cb)
 	if err != nil {
 		panic(fmt.Sprintf("sim: server decode: %v", err))
 	}
-	if !innovative {
-		return
+
+	if out.Useful && now >= s.cfg.Warmup {
+		s.usefulInWindow++
 	}
-	s.innovativePulls++
-	if now >= s.cfg.Warmup {
+	if out.Delivered && !meta.delivered() {
+		meta.deliveredAt = now
+		if meta.degree >= s.cfg.SegmentSize {
+			s.saved--
+		}
+		if meta.originDeparted {
+			s.postmortemDelivered++
+		}
+		if now >= s.cfg.Warmup {
+			s.deliveredInWindow++
+			s.stateDelay.Add(now - meta.injectTime)
+		}
+		if s.onDeliver != nil {
+			s.onDeliver(meta.view())
+		}
+		if s.cfg.ServerFeedback {
+			s.purgeSegment(meta.id)
+		}
+	}
+	if out.Innovative && now >= s.cfg.Warmup {
 		s.innovativeInWindow++
 	}
-	if dec.Complete() && !meta.decoded() {
+	if out.Decoded && !meta.decoded() {
 		meta.decodedAt = now
 		if now >= s.cfg.Warmup {
 			s.rankDecodedInWindow++
@@ -650,20 +661,9 @@ func (s *Simulator) departTick(pi int) {
 // vanish and a fresh peer instantly takes the slot.
 func (s *Simulator) depart(pi int) {
 	p := s.peers[pi]
-	s.departures++
-	for _, m := range s.segs {
-		if m.id.Origin == p.id && !m.delivered() && !m.originDeparted {
-			m.originDeparted = true
-			s.orphanedSegments++
-		}
-	}
-	for _, segID := range p.segIDs {
-		n := p.holdings[segID].Len()
-		for k := 0; k < n; k++ {
-			s.blocksLostToExit++
-			s.noteBlockRemoved(segID)
-		}
-	}
+	s.counters.Count(peercore.EvDeparture, 1)
+	s.markOrphans(p)
+	s.dropPeerBlocks(p)
 	p.gen++
 	gen := p.gen
 	fresh := s.newPeer()
@@ -687,69 +687,19 @@ func (s *Simulator) sampleTick() {
 
 // --- block bookkeeping ---
 
-// storeBlock files cb into peer pi's buffer. It returns false when the
-// block was not innovative there (and is therefore discarded).
-func (s *Simulator) storeBlock(pi int, cb *rlnc.CodedBlock) bool {
-	p := s.peers[pi]
-	h := p.holdings[cb.Seg]
-	if h == nil {
-		h = rlnc.NewHolding(cb.Seg, s.cfg.SegmentSize)
-		p.holdings[cb.Seg] = h
-		p.segPos[cb.Seg] = len(p.segIDs)
-		p.segIDs = append(p.segIDs, cb.Seg)
-	}
-	if !h.Add(cb) {
-		if h.Len() == 0 {
-			s.dropHolding(p, cb.Seg)
-		}
-		return false
-	}
-	p.occupancy++
-	if p.occupancy == 1 {
-		s.nonEmpty.add(pi)
-	}
-	s.totalBlocks++
-	meta := s.segs[cb.Seg]
-	meta.degree++
-	if meta.degree == s.cfg.SegmentSize && !meta.delivered() {
-		s.saved++
-	}
-	gen := p.gen
-	s.clock.After(s.rng.Exp(s.cfg.Gamma), func() { s.expireBlock(pi, gen, cb) })
-	return true
-}
-
 // expireBlock is the TTL process for one stored block copy.
 func (s *Simulator) expireBlock(pi int, gen uint64, cb *rlnc.CodedBlock) {
 	p := s.peers[pi]
 	if p.gen != gen {
 		return // the peer that held this copy has departed
 	}
-	h := p.holdings[cb.Seg]
-	if h == nil || !h.RemoveBlock(cb) {
-		return
+	if !p.core.ExpireBlock(cb) {
+		return // already purged or swept
 	}
-	s.blocksLostToTTL++
-	if h.Len() == 0 {
-		s.dropHolding(p, cb.Seg)
-	}
-	p.occupancy--
-	if p.occupancy == 0 {
+	if p.core.Occupancy() == 0 {
 		s.nonEmpty.remove(pi)
 	}
 	s.noteBlockRemoved(cb.Seg)
-}
-
-// dropHolding unregisters an empty holding from the peer's sampling list.
-func (s *Simulator) dropHolding(p *peerState, segID rlnc.SegmentID) {
-	pos := p.segPos[segID]
-	last := len(p.segIDs) - 1
-	moved := p.segIDs[last]
-	p.segIDs[pos] = moved
-	p.segPos[moved] = pos
-	p.segIDs = p.segIDs[:last]
-	delete(p.segPos, segID)
-	delete(p.holdings, segID)
 }
 
 // purgeSegment implements the ServerFeedback extension: every peer evicts
@@ -757,25 +707,24 @@ func (s *Simulator) dropHolding(p *peerState, segID rlnc.SegmentID) {
 // capacity for undelivered data. The pending TTL events become no-ops.
 func (s *Simulator) purgeSegment(segID rlnc.SegmentID) {
 	for pi, p := range s.peers {
-		h := p.holdings[segID]
-		if h == nil {
+		n := p.core.DropSegment(segID)
+		if n == 0 {
 			continue
 		}
-		n := h.Len()
-		s.dropHolding(p, segID)
-		p.occupancy -= n
-		if p.occupancy == 0 {
+		if p.core.Occupancy() == 0 {
 			s.nonEmpty.remove(pi)
 		}
+		s.counters.Count(peercore.EvBlockPurged, int64(n))
 		for k := 0; k < n; k++ {
-			s.purgedByFeedback++
 			s.noteBlockRemoved(segID)
 		}
 	}
 }
 
 // noteBlockRemoved updates the global degree bookkeeping after one block
-// copy left the network (TTL or departure).
+// copy left the network (TTL, departure, or feedback purge). When the last
+// copy goes, the segment is extinct: the loss counters fire and every
+// server-side collection is reclaimed.
 func (s *Simulator) noteBlockRemoved(segID rlnc.SegmentID) {
 	meta := s.segs[segID]
 	if meta.degree == s.cfg.SegmentSize && !meta.delivered() {
@@ -791,35 +740,41 @@ func (s *Simulator) noteBlockRemoved(segID rlnc.SegmentID) {
 			s.rankLostSegments++
 		}
 		delete(s.segs, segID)
+		s.pool.Forget(segID)
+		for _, c := range s.perSrv {
+			c.Forget(segID)
+		}
 	}
 }
 
 // Result assembles the run's measurements.
 func (s *Simulator) Result() *Result {
 	window := s.clock.Now() - s.cfg.Warmup
+	c := s.counters
 	r := &Result{
 		Config:                 s.cfg,
 		Window:                 window,
-		InjectedSegments:       s.injectedSegments,
-		InjectedBlocks:         s.injectedBlocks,
-		SuppressedInjections:   s.suppressedInjections,
+		InjectedSegments:       c.Get(peercore.EvInjectedSegment),
+		InjectedBlocks:         c.Get(peercore.EvInjectedBlock),
+		SuppressedInjections:   c.Get(peercore.EvSuppressedInjection),
 		DeliveredSegments:      s.deliveredInWindow,
-		UsefulPulls:            s.usefulPulls,
+		UsefulPulls:            c.Get(peercore.EvUsefulPull),
 		RankDecodedSegments:    s.rankDecodedInWindow,
-		InnovativePulls:        s.innovativePulls,
+		InnovativePulls:        c.Get(peercore.EvInnovativePull),
 		LostSegments:           s.lostSegments,
 		RankLostSegments:       s.rankLostSegments,
-		ServerPulls:            s.serverPulls,
-		RedundantPulls:         s.redundantPulls,
-		GossipSends:            s.gossipSends,
-		RedundantGossip:        s.redundantGossip,
-		NoTargetGossip:         s.noTargetGossip,
-		Departures:             s.departures,
-		BlocksLostToTTL:        s.blocksLostToTTL,
-		BlocksLostToExit:       s.blocksLostToExit,
+		ServerPulls:            c.Get(peercore.EvServerPull),
+		RedundantPulls:         c.Get(peercore.EvRedundantPull),
+		GossipSends:            c.Get(peercore.EvGossipSend),
+		RedundantGossip:        c.Get(peercore.EvRedundantGossip),
+		NoTargetGossip:         c.Get(peercore.EvNoTargetGossip),
+		Departures:             c.Get(peercore.EvDeparture),
+		BlocksLostToTTL:        c.Get(peercore.EvBlockLostTTL),
+		BlocksLostToExit:       c.Get(peercore.EvBlockLostExit),
 		OrphanedSegments:       s.orphanedSegments,
 		PostmortemDelivered:    s.postmortemDelivered,
-		BlocksPurgedByFeedback: s.purgedByFeedback,
+		BlocksPurgedByFeedback: c.Get(peercore.EvBlockPurged),
+		ProtocolCounters:       c.Snapshot(),
 	}
 	if window > 0 {
 		r.Throughput = float64(s.usefulInWindow) / window
@@ -849,40 +804,27 @@ func (s *Simulator) Result() *Result {
 }
 
 // CheckInvariants verifies the internal bookkeeping against a full recount
-// and returns the first inconsistency. Tests call it mid-run.
+// and returns the first inconsistency. Per-peer buffer invariants are
+// delegated to the peer cores; this adds the network-level recounts.
+// Tests call it mid-run.
 func (s *Simulator) CheckInvariants() error {
 	var total int64
 	degrees := make(map[rlnc.SegmentID]int)
 	var saved int64
 	for pi, p := range s.peers {
 		if p.dead {
-			if p.occupancy != 0 || len(p.holdings) != 0 || s.nonEmpty.contains(pi) {
+			if p.core.Occupancy() != 0 || p.core.NumSegments() != 0 || s.nonEmpty.contains(pi) {
 				return fmt.Errorf("dead peer %d retains state", pi)
 			}
 			continue
 		}
-		var occ int
-		for segID, h := range p.holdings {
-			if h.Len() == 0 {
-				return fmt.Errorf("peer %d holds empty holding for %v", pi, segID)
-			}
-			if h.Len() > s.cfg.SegmentSize {
-				return fmt.Errorf("peer %d holds %d blocks of %v, cap %d", pi, h.Len(), segID, s.cfg.SegmentSize)
-			}
-			if _, ok := p.segPos[segID]; !ok {
-				return fmt.Errorf("peer %d holding %v missing from sampling list", pi, segID)
-			}
-			occ += h.Len()
-			degrees[segID] += h.Len()
+		if err := p.core.CheckInvariants(); err != nil {
+			return fmt.Errorf("peer %d: %w", pi, err)
 		}
-		if occ != p.occupancy {
-			return fmt.Errorf("peer %d occupancy %d, recount %d", pi, p.occupancy, occ)
-		}
-		if occ > s.cfg.BufferCap {
-			return fmt.Errorf("peer %d over buffer cap: %d", pi, occ)
-		}
-		if len(p.segIDs) != len(p.holdings) {
-			return fmt.Errorf("peer %d sampling list length %d, holdings %d", pi, len(p.segIDs), len(p.holdings))
+		occ := p.core.Occupancy()
+		for i := 0; i < p.core.NumSegments(); i++ {
+			segID := p.core.SegmentAt(i)
+			degrees[segID] += p.core.BlocksOf(segID)
 		}
 		if (occ > 0) != s.nonEmpty.contains(pi) {
 			return fmt.Errorf("peer %d non-empty set membership wrong (occ=%d)", pi, occ)
@@ -902,25 +844,28 @@ func (s *Simulator) CheckInvariants() error {
 		if meta.degree >= s.cfg.SegmentSize && !meta.delivered() {
 			saved++
 		}
-		if meta.pullState > s.cfg.SegmentSize {
-			return fmt.Errorf("segment %v pull state %d above s", segID, meta.pullState)
+		if s.pool.Collection(segID) != meta.col {
+			return fmt.Errorf("segment %v pooled collection out of sync", segID)
+		}
+		if meta.col.State() > s.cfg.SegmentSize {
+			return fmt.Errorf("segment %v pull state %d above s", segID, meta.col.State())
 		}
 		if s.cfg.IndependentServers {
-			if meta.pullState != 0 {
-				return fmt.Errorf("segment %v collaborative state %d in independent mode", segID, meta.pullState)
+			if meta.col.State() != 0 {
+				return fmt.Errorf("segment %v collaborative state %d in independent mode", segID, meta.col.State())
 			}
-			for j, st := range meta.perServer {
-				if st > s.cfg.SegmentSize {
-					return fmt.Errorf("segment %v server %d state %d above s", segID, j, st)
+			for j, col := range meta.perCol {
+				if col.State() > s.cfg.SegmentSize {
+					return fmt.Errorf("segment %v server %d state %d above s", segID, j, col.State())
 				}
-				if meta.perDec[j].Rank() > st && st < s.cfg.SegmentSize {
-					return fmt.Errorf("segment %v server %d rank %d exceeds state %d", segID, j, meta.perDec[j].Rank(), st)
+				if col.Rank() > col.State() && col.State() < s.cfg.SegmentSize {
+					return fmt.Errorf("segment %v server %d rank %d exceeds state %d", segID, j, col.Rank(), col.State())
 				}
 			}
-		} else if meta.dec.Rank() > meta.pullState && meta.pullState < s.cfg.SegmentSize {
+		} else if meta.col.Rank() > meta.col.State() && meta.col.State() < s.cfg.SegmentSize {
 			// Every pull feeds both accountings, and a pull can advance rank
 			// only if it advanced the state counter (state saturates first).
-			return fmt.Errorf("segment %v rank %d exceeds pull state %d", segID, meta.dec.Rank(), meta.pullState)
+			return fmt.Errorf("segment %v rank %d exceeds pull state %d", segID, meta.col.Rank(), meta.col.State())
 		}
 	}
 	for segID := range degrees {

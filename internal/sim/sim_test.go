@@ -2,6 +2,7 @@ package sim
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"p2pcollect/internal/rlnc"
@@ -149,7 +150,7 @@ func TestDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if *a != *b {
+	if !reflect.DeepEqual(a, b) {
 		t.Errorf("same seed produced different results:\n%+v\n%+v", a, b)
 	}
 	cfg.Seed = 99
