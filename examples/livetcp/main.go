@@ -1,7 +1,9 @@
 // Livetcp boots a real deployment on localhost: peers running the full
 // protocol over TCP — generating statistics records, gossiping coded
 // blocks, expiring TTLs — and one logging server that pulls, decodes
-// segments, and prints the recovered vital-statistics records.
+// segments, and prints the recovered vital-statistics records. With -loss
+// the deployment runs under injected message loss, demonstrating the
+// fault-tolerant send path: throughput degrades, collection continues.
 package main
 
 import (
@@ -20,31 +22,45 @@ import (
 func main() {
 	peers := flag.Int("peers", 6, "number of live peers")
 	duration := flag.Duration("duration", 4*time.Second, "how long to run")
+	loss := flag.Float64("loss", 0, "injected per-message loss probability [0,1)")
+	writeTimeout := flag.Duration("write-timeout", 2*time.Second, "per-frame TCP write deadline")
+	dialTimeout := flag.Duration("dial-timeout", time.Second, "TCP dial deadline")
 	flag.Parse()
-	if err := run(*peers, *duration); err != nil {
+	if err := run(*peers, *duration, *loss, *dialTimeout, *writeTimeout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(peers int, duration time.Duration) error {
+func run(peers int, duration time.Duration, loss float64, dialTimeout, writeTimeout time.Duration) error {
 	if peers < 2 {
 		return fmt.Errorf("need at least 2 peers, got %d", peers)
 	}
+	if loss < 0 || loss >= 1 {
+		return fmt.Errorf("loss %.2f outside [0, 1)", loss)
+	}
 	serverID := p2pcollect.NodeID(peers + 1)
+	opts := p2pcollect.TCPOptions{DialTimeout: dialTimeout, WriteTimeout: writeTimeout}
 
 	// Start every transport on an ephemeral localhost port, then exchange
-	// the address book.
+	// the address book. With -loss, each endpoint is wrapped in a seeded
+	// fault injector over the same production TCP path.
 	book := make(map[p2pcollect.NodeID]string, peers+1)
-	transports := make([]*transport.TCPTransport, 0, peers+1)
+	tcps := make([]*transport.TCPTransport, 0, peers+1)
+	endpoints := make([]p2pcollect.Transport, 0, peers+1)
 	for i := 1; i <= peers+1; i++ {
-		tr, err := p2pcollect.NewTCPTransport(p2pcollect.NodeID(i), "127.0.0.1:0", nil)
+		tr, err := p2pcollect.NewTCPTransportOpts(p2pcollect.NodeID(i), "127.0.0.1:0", nil, opts)
 		if err != nil {
 			return err
 		}
 		book[p2pcollect.NodeID(i)] = tr.Addr()
-		transports = append(transports, tr)
+		tcps = append(tcps, tr)
+		var ep p2pcollect.Transport = tr
+		if loss > 0 {
+			ep = p2pcollect.NewFaultyTransport(tr, p2pcollect.FaultConfig{LossProb: loss}, int64(i))
+		}
+		endpoints = append(endpoints, ep)
 	}
-	for _, tr := range transports {
+	for _, tr := range tcps {
 		for id, addr := range book {
 			if id != tr.LocalID() {
 				tr.AddRoute(id, addr)
@@ -65,11 +81,11 @@ func run(peers int, duration time.Duration) error {
 			Seed:        int64(i + 1),
 		}
 		for j := 1; j <= peers; j++ {
-			if p2pcollect.NodeID(j) != transports[i].LocalID() {
+			if p2pcollect.NodeID(j) != tcps[i].LocalID() {
 				cfg.Neighbors = append(cfg.Neighbors, p2pcollect.NodeID(j))
 			}
 		}
-		node, err := p2pcollect.NewNode(transports[i], cfg)
+		node, err := p2pcollect.NewNode(endpoints[i], cfg)
 		if err != nil {
 			return err
 		}
@@ -80,7 +96,7 @@ func run(peers int, duration time.Duration) error {
 	for i := range peerIDs {
 		peerIDs[i] = p2pcollect.NodeID(i + 1)
 	}
-	server, err := p2pcollect.NewServer(transports[peers], p2pcollect.ServerConfig{
+	server, err := p2pcollect.NewServer(endpoints[peers], p2pcollect.ServerConfig{
 		PullRate: 80,
 		Peers:    peerIDs,
 		Seed:     99,
@@ -107,6 +123,9 @@ func run(peers int, duration time.Duration) error {
 		}
 	}
 
+	if loss > 0 {
+		fmt.Printf("injecting %.0f%% message loss on every endpoint\n", loss*100)
+	}
 	fmt.Printf("starting %d peers + 1 logging server (id %d) on localhost TCP...\n", peers, serverID)
 	for _, n := range nodes {
 		if err := n.Start(); err != nil {
@@ -128,6 +147,10 @@ func run(peers int, duration time.Duration) error {
 	defer mu.Unlock()
 	fmt.Printf("\nserver after %v: %d pulls sent, %d blocks received, %d segments decoded\n",
 		duration, stats.PullsSent, stats.BlocksReceived, stats.DecodedSegments)
+	if loss > 0 {
+		fmt.Printf("  fault injection dropped %d outgoing server messages\n",
+			stats.Protocol["transportFaultLossDrops"])
+	}
 	origins := make([]uint64, 0, len(recovered))
 	for origin := range recovered {
 		origins = append(origins, origin)

@@ -27,6 +27,11 @@ type ClusterConfig struct {
 	PullRate float64
 	// OnSegment observes every segment reconstructed by any server.
 	OnSegment func(id rlnc.SegmentID, blocks [][]byte)
+	// WrapTransport, when set, wraps every endpoint's transport before the
+	// node or server is built — e.g. in a transport.Faulty for chaos
+	// testing. The callback sees the endpoint's LocalID and may return the
+	// transport unchanged.
+	WrapTransport func(transport.Transport) transport.Transport
 	// Seed makes the deployment reproducible.
 	Seed int64
 }
@@ -60,13 +65,20 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		c.Stop()
 		return nil, err
 	}
+	join := func(id transport.NodeID) transport.Transport {
+		tr := c.Network.Join(id)
+		if cfg.WrapTransport != nil {
+			tr = cfg.WrapTransport(tr)
+		}
+		return tr
+	}
 	for i := 0; i < cfg.Peers; i++ {
 		nodeCfg := cfg.Node
 		for _, nb := range graph.Neighbors(i) {
 			nodeCfg.Neighbors = append(nodeCfg.Neighbors, transport.NodeID(nb+1))
 		}
 		nodeCfg.Seed = rng.Int63()
-		node, err := NewNode(c.Network.Join(transport.NodeID(i+1)), nodeCfg)
+		node, err := NewNode(join(transport.NodeID(i+1)), nodeCfg)
 		if err != nil {
 			return fail(err)
 		}
@@ -77,7 +89,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		peerIDs[i] = transport.NodeID(i + 1)
 	}
 	for j := 0; j < cfg.Servers; j++ {
-		srv, err := NewServer(c.Network.Join(transport.NodeID(serverIDBase+j)), ServerConfig{
+		srv, err := NewServer(join(transport.NodeID(serverIDBase+j)), ServerConfig{
 			PullRate:    cfg.PullRate,
 			Peers:       peerIDs,
 			SegmentSize: cfg.Node.SegmentSize,

@@ -155,7 +155,7 @@ func TestSegmentCompleteSuppressesGossip(t *testing.T) {
 	deadline := time.Now().Add(5 * time.Second)
 	for time.Now().Before(deadline) {
 		a.mu.Lock()
-		full := a.fullAt[seg][2]
+		_, full := a.fullAt[seg][2]
 		a.mu.Unlock()
 		if full {
 			return
@@ -363,6 +363,116 @@ func TestServerFinishedSetBounded(t *testing.T) {
 	}
 	if !oldestGone || !newestKept {
 		t.Errorf("eviction order wrong: oldestGone=%v newestKept=%v", oldestGone, newestKept)
+	}
+}
+
+// TestSegmentCompleteUnmutesAfterExpiry is the regression test for the
+// permanent-mute bug: a neighbor's segment-complete notice suppressed
+// gossip of that segment toward it forever, even after the neighbor's
+// holding drained by TTL. The notice must expire, after which the neighbor
+// is a gossip target again.
+func TestSegmentCompleteUnmutesAfterExpiry(t *testing.T) {
+	net := transport.NewNetwork()
+	cfg := fastNodeConfig()
+	cfg.Lambda = 0
+	cfg.Mu = 0
+	cfg.Gamma = 0.05 // ~20s mean TTL: the segment outlives the test
+	cfg.NoticeTTL = 0.15
+	cfg.Neighbors = []transport.NodeID{2}
+	a, err := NewNode(net.Join(1), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer a.Stop()
+	b := net.Join(2)
+
+	a.inject()
+	to, msg, ok := a.prepareGossip()
+	if !ok || to != 2 || msg.Block == nil {
+		t.Fatalf("node with a buffered segment and one neighbor prepared no gossip (to=%d ok=%v)", to, ok)
+	}
+	seg := msg.Block.Seg
+
+	// The neighbor announces it is full for the segment: muted.
+	if err := b.Send(1, &transport.Message{Type: transport.MsgSegmentComplete, Seg: seg}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	muted := false
+	for time.Now().Before(deadline) {
+		a.mu.Lock()
+		_, muted = a.fullAt[seg][2]
+		a.mu.Unlock()
+		if muted {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !muted {
+		t.Fatal("segment-complete notice never registered")
+	}
+	if _, _, ok := a.prepareGossip(); ok {
+		t.Fatal("gossip targeted a neighbor inside its mute window")
+	}
+
+	// After the notice expires (a few TTL means in production, 150ms
+	// here), the expired-and-refilled neighbor must receive gossip again.
+	for time.Now().Before(deadline) {
+		if to, _, ok := a.prepareGossip(); ok {
+			if to != 2 {
+				t.Fatalf("gossip target = %d, want 2", to)
+			}
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("neighbor never un-muted after the notice expired")
+}
+
+// TestMarkFinishedSteadyStateAllocations guards the finished-set ring
+// buffer: a server decoding segments indefinitely must not allocate per
+// decode (the old FIFO re-slicing pinned an ever-growing backing array).
+func TestMarkFinishedSteadyStateAllocations(t *testing.T) {
+	net := transport.NewNetwork()
+	srv, err := NewServer(net.Join(1), ServerConfig{
+		Peers:       []transport.NodeID{2},
+		FinishedCap: 64,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seq uint64
+	mark := func() {
+		srv.mu.Lock()
+		srv.markFinished(rlnc.SegmentID{Origin: 7, Seq: seq})
+		seq++
+		srv.mu.Unlock()
+	}
+	// Warm past ring creation and map growth, then measure steady state.
+	for i := 0; i < 1024; i++ {
+		mark()
+	}
+	allocs := testing.AllocsPerRun(5000, mark)
+	if allocs > 0.1 {
+		t.Errorf("markFinished allocates %.2f allocs/op in steady state, want ~0", allocs)
+	}
+	srv.mu.Lock()
+	defer srv.mu.Unlock()
+	if len(srv.finished) != 64 {
+		t.Errorf("finished set size = %d, want 64", len(srv.finished))
+	}
+	if len(srv.finishedRing) != 64 || cap(srv.finishedRing) != 64 {
+		t.Errorf("ring len/cap = %d/%d, want 64/64", len(srv.finishedRing), cap(srv.finishedRing))
+	}
+	if !srv.finished[rlnc.SegmentID{Origin: 7, Seq: seq - 1}] {
+		t.Error("newest entry missing after ring wrap")
+	}
+	if srv.finished[rlnc.SegmentID{Origin: 7, Seq: seq - 65}] {
+		t.Error("entry older than the ring capacity not evicted")
 	}
 }
 

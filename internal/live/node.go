@@ -40,6 +40,11 @@ type NodeConfig struct {
 	Gamma float64
 	// BufferCap bounds the number of buffered coded blocks.
 	BufferCap int
+	// NoticeTTL is how long (in seconds) a neighbor's segment-complete
+	// notice mutes gossip of that segment toward them. After it the
+	// neighbor's holding has almost surely lost blocks to TTL expiry and
+	// wants gossip again. Zero selects 3/Gamma (a few TTL means).
+	NoticeTTL float64
 	// Neighbors are the peers this node gossips to.
 	Neighbors []transport.NodeID
 	// Seed makes the node's randomness reproducible.
@@ -58,8 +63,18 @@ func (c NodeConfig) validate() error {
 		return errors.New("live: Gamma must be positive")
 	case c.BufferCap < c.SegmentSize:
 		return fmt.Errorf("live: BufferCap %d < SegmentSize %d", c.BufferCap, c.SegmentSize)
+	case c.NoticeTTL < 0:
+		return errors.New("live: negative NoticeTTL")
 	}
 	return nil
+}
+
+// noticeTTL resolves the configured segment-complete notice lifetime.
+func (c NodeConfig) noticeTTL() float64 {
+	if c.NoticeTTL > 0 {
+		return c.NoticeTTL
+	}
+	return 3 / c.Gamma
 }
 
 // NodeStats is a snapshot of a node's counters. The named fields are the
@@ -88,9 +103,13 @@ type Node struct {
 	rng      *randx.Rand
 	core     *peercore.Peer
 	counters *peercore.Counters
-	fullAt   map[rlnc.SegmentID]map[transport.NodeID]bool
-	gen      *logdata.Generator
-	started  time.Time
+	// fullAt maps segment → neighbor → node-clock deadline until which the
+	// neighbor's segment-complete notice suppresses gossip of that segment
+	// toward it. Entries expire (reap) so a neighbor whose holding drained
+	// by TTL is gossiped to again — a notice must mute, not excommunicate.
+	fullAt  map[rlnc.SegmentID]map[transport.NodeID]float64
+	gen     *logdata.Generator
+	started time.Time
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -116,7 +135,7 @@ func NewNode(tr transport.Transport, cfg NodeConfig) (*Node, error) {
 		rng:      rng,
 		core:     core,
 		counters: counters,
-		fullAt:   make(map[rlnc.SegmentID]map[transport.NodeID]bool),
+		fullAt:   make(map[rlnc.SegmentID]map[transport.NodeID]float64),
 		gen:      logdata.NewGenerator(uint64(tr.LocalID()), rng.Fork()),
 		stop:     make(chan struct{}),
 	}, nil
@@ -159,7 +178,12 @@ func (n *Node) Stop() {
 	n.wg.Wait()
 }
 
-// Stats returns a consistent snapshot of the node's counters.
+// Stats returns a consistent snapshot of the node's counters. Protocol
+// includes the transport's health counters (the "transport*" keys) when
+// the transport is instrumented, so one snapshot reports protocol progress
+// and transport liveness side by side. GossipSent counts gossip handed to
+// the transport (attempted); transportFramesDelivered among the Protocol
+// keys is how much of it actually left the machine.
 func (n *Node) Stats() NodeStats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -174,8 +198,19 @@ func (n *Node) Stats() NodeStats {
 		PullsServed:      c.Get(peercore.EvPullServed),
 		BufferedBlocks:   n.core.Occupancy(),
 		BufferedSegments: n.core.NumSegments(),
-		Protocol:         c.Snapshot(),
+		Protocol:         mergeTransportCounters(c.Snapshot(), n.tr),
 	}
+}
+
+// mergeTransportCounters copies an instrumented transport's health
+// counters into a protocol counter snapshot.
+func mergeTransportCounters(protocol map[string]int64, tr transport.Transport) map[string]int64 {
+	if ic, ok := tr.(transport.Instrumented); ok {
+		for k, v := range ic.Counters() {
+			protocol[k] = v
+		}
+	}
+	return protocol
 }
 
 // now is the node's protocol clock: wall seconds since Start. Callers
@@ -247,6 +282,12 @@ func (n *Node) gossipLoop() {
 			return
 		case <-timer.C:
 			if to, msg, ok := n.prepareGossip(); ok {
+				// EvGossipSend counts gossip the transport accepted
+				// (attempted). Whether a frame really left the machine is
+				// the transport's to know — its framesDelivered /
+				// dialFailures counters appear alongside this one in
+				// Stats().Protocol, so the two are reported separately
+				// instead of conflating a failed dial with a send.
 				if err := n.tr.Send(to, msg); err == nil {
 					n.counters.Count(peercore.EvGossipSend, 1)
 				}
@@ -259,7 +300,9 @@ func (n *Node) gossipLoop() {
 // prepareGossip picks a segment and an eligible neighbor and re-encodes one
 // block, all under the lock; sending happens outside it. The segment-
 // complete notices in fullAt are the distributed approximation of the
-// simulator's exact gossip-target eligibility rule.
+// simulator's exact gossip-target eligibility rule; a notice only mutes a
+// neighbor until its deadline, since the neighbor's holding drains by TTL
+// and then wants the segment again.
 func (n *Node) prepareGossip() (transport.NodeID, *transport.Message, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -270,10 +313,11 @@ func (n *Node) prepareGossip() (transport.NodeID, *transport.Message, bool) {
 	if !ok {
 		return 0, nil, false
 	}
+	now := n.now()
 	full := n.fullAt[segID]
 	candidates := make([]transport.NodeID, 0, len(n.cfg.Neighbors))
 	for _, nb := range n.cfg.Neighbors {
-		if !full[nb] {
+		if deadline, muted := full[nb]; !muted || now >= deadline {
 			candidates = append(candidates, nb)
 		}
 	}
@@ -301,15 +345,27 @@ func (n *Node) reapLoop() {
 }
 
 // reap removes blocks whose TTL expired, and garbage-collects
-// segment-complete notices for segments this node no longer buffers (they
-// only influence gossip target choice, which is scoped to buffered
-// segments; keeping them would leak memory over a long run).
+// segment-complete notices that are stale: past their mute deadline
+// (the neighbor's holding has drained by TTL and must become a gossip
+// target again) or about segments this node no longer buffers. Keeping
+// either kind would leak memory — and the former would permanently
+// exclude a neighbor from a segment's gossip.
 func (n *Node) reap() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.core.ExpireDue(n.now())
-	for segID := range n.fullAt {
+	now := n.now()
+	n.core.ExpireDue(now)
+	for segID, full := range n.fullAt {
 		if !n.core.Holds(segID) {
+			delete(n.fullAt, segID)
+			continue
+		}
+		for nb, deadline := range full {
+			if now >= deadline {
+				delete(full, nb)
+			}
+		}
+		if len(full) == 0 {
 			delete(n.fullAt, segID)
 		}
 	}
@@ -337,9 +393,9 @@ func (n *Node) handle(m *transport.Message) {
 	case transport.MsgSegmentComplete:
 		n.mu.Lock()
 		if n.fullAt[m.Seg] == nil {
-			n.fullAt[m.Seg] = make(map[transport.NodeID]bool)
+			n.fullAt[m.Seg] = make(map[transport.NodeID]float64)
 		}
-		n.fullAt[m.Seg][m.From] = true
+		n.fullAt[m.Seg][m.From] = n.now() + n.cfg.noticeTTL()
 		n.mu.Unlock()
 	case transport.MsgPullRequest:
 		n.servePull(m.From)

@@ -75,12 +75,17 @@ type Server struct {
 	// of each segment as soon as it decodes.
 	OnSegment func(id rlnc.SegmentID, blocks [][]byte)
 
-	mu           sync.Mutex
-	rng          *randx.Rand
-	counters     *peercore.Counters
-	collector    *peercore.Collector // nil until the segment size is known
-	finished     map[rlnc.SegmentID]bool
-	finishedFIFO []rlnc.SegmentID // eviction order for the finished set
+	mu        sync.Mutex
+	rng       *randx.Rand
+	counters  *peercore.Counters
+	collector *peercore.Collector // nil until the segment size is known
+	finished  map[rlnc.SegmentID]bool
+	// finishedRing is the eviction order for the finished set: a fixed
+	// FinishedCap-slot ring (head + size), so unbounded decode streams
+	// never grow — or pin — a backing array.
+	finishedRing []rlnc.SegmentID
+	ringHead     int
+	ringSize     int
 	redundant    int64
 	started      time.Time
 
@@ -158,7 +163,7 @@ func (s *Server) Stats() ServerStats {
 		RedundantBlocks:   s.redundant,
 		DeliveredSegments: c.Get(peercore.EvDeliveredSegment),
 		DecodedSegments:   c.Get(peercore.EvDecodedSegment),
-		Protocol:          c.Snapshot(),
+		Protocol:          mergeTransportCounters(c.Snapshot(), s.tr),
 	}
 	if s.collector != nil {
 		st.OpenDecoders = s.collector.OpenCount()
@@ -259,15 +264,22 @@ func (s *Server) receiveBlock(cb *rlnc.CodedBlock) {
 }
 
 // markFinished records a completed segment, evicting the oldest entry when
-// the bounded memory is full. Callers hold mu.
+// the bounded memory is full. The ring never reallocates, so a server
+// decoding segments indefinitely holds exactly FinishedCap entries of
+// eviction state (re-slicing the old FIFO with [1:] pinned its ever-
+// growing backing array forever). Callers hold mu.
 func (s *Server) markFinished(id rlnc.SegmentID) {
-	if len(s.finishedFIFO) >= s.cfg.FinishedCap {
-		oldest := s.finishedFIFO[0]
-		s.finishedFIFO = s.finishedFIFO[1:]
-		delete(s.finished, oldest)
+	if s.finishedRing == nil {
+		s.finishedRing = make([]rlnc.SegmentID, s.cfg.FinishedCap)
 	}
+	if s.ringSize == len(s.finishedRing) {
+		delete(s.finished, s.finishedRing[s.ringHead])
+		s.ringHead = (s.ringHead + 1) % len(s.finishedRing)
+		s.ringSize--
+	}
+	s.finishedRing[(s.ringHead+s.ringSize)%len(s.finishedRing)] = id
+	s.ringSize++
 	s.finished[id] = true
-	s.finishedFIFO = append(s.finishedFIFO, id)
 }
 
 // String describes the server for logs.

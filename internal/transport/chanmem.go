@@ -2,6 +2,8 @@ package transport
 
 import (
 	"sync"
+
+	"p2pcollect/internal/metrics"
 )
 
 // defaultInboxSize buffers bursts on the in-memory network. Overflow drops
@@ -34,7 +36,7 @@ func (n *Network) Join(id NodeID) Transport {
 	ch := make(chan *Message, defaultInboxSize)
 	n.inbox[id] = ch
 	n.closed[id] = false
-	return &chanTransport{net: n, id: id, inbox: ch}
+	return &chanTransport{net: n, id: id, inbox: ch, counters: newTransportCounters()}
 }
 
 // Drops returns how many messages destined to id were discarded because its
@@ -45,19 +47,27 @@ func (n *Network) Drops(id NodeID) int64 {
 	return n.drops[id]
 }
 
+// Delivery outcomes for Network.deliver.
+const (
+	deliverOK = iota
+	deliverDropped
+	deliverGone
+)
+
 // deliver enqueues m for its destination, dropping on backpressure. The
 // read lock is held across the (non-blocking) send so leave cannot close
-// the mailbox mid-send.
-func (n *Network) deliver(m *Message) error {
+// the mailbox mid-send. The outcome lets endpoints count deliveries vs
+// drops.
+func (n *Network) deliver(m *Message) (int, error) {
 	n.mu.RLock()
 	ch, ok := n.inbox[m.To]
 	if !ok {
 		n.mu.RUnlock()
-		return ErrUnknownNode
+		return deliverGone, ErrUnknownNode
 	}
 	if n.closed[m.To] {
 		n.mu.RUnlock()
-		return nil // destination gone; the network silently eats it
+		return deliverGone, nil // destination gone; the network silently eats it
 	}
 	dropped := false
 	select {
@@ -70,8 +80,9 @@ func (n *Network) deliver(m *Message) error {
 		n.mu.Lock()
 		n.drops[m.To]++
 		n.mu.Unlock()
+		return deliverDropped, nil
 	}
-	return nil
+	return deliverOK, nil
 }
 
 // leave marks id closed and closes its mailbox.
@@ -87,17 +98,23 @@ func (n *Network) leave(id NodeID) {
 
 // chanTransport is one endpoint of a Network.
 type chanTransport struct {
-	net   *Network
-	id    NodeID
-	inbox chan *Message
+	net      *Network
+	id       NodeID
+	inbox    chan *Message
+	counters *metrics.CounterSet
 
 	mu     sync.Mutex
 	closed bool
 }
 
 var _ Transport = (*chanTransport)(nil)
+var _ Instrumented = (*chanTransport)(nil)
 
 func (t *chanTransport) LocalID() NodeID { return t.id }
+
+// Counters returns the endpoint's health counters (sends, deliveries, and
+// backpressure drops at the destination mailbox).
+func (t *chanTransport) Counters() map[string]int64 { return t.counters.Snapshot() }
 
 func (t *chanTransport) Send(to NodeID, m *Message) error {
 	t.mu.Lock()
@@ -109,7 +126,18 @@ func (t *chanTransport) Send(to NodeID, m *Message) error {
 	cp := *m
 	cp.From = t.id
 	cp.To = to
-	return t.net.deliver(&cp)
+	t.counters.Add(ctrSendsEnqueued, 1)
+	outcome, err := t.net.deliver(&cp)
+	switch {
+	case err != nil:
+	case outcome == deliverOK:
+		t.counters.Add(ctrFramesDelivered, 1)
+	case outcome == deliverDropped:
+		t.counters.Add(ctrDropsOverflow, 1)
+	default:
+		t.counters.Add(ctrDropsDown, 1)
+	}
+	return err
 }
 
 func (t *chanTransport) Receive() <-chan *Message { return t.inbox }

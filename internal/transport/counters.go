@@ -1,0 +1,72 @@
+package transport
+
+import "p2pcollect/internal/metrics"
+
+// Transport health counters. Every instrumented transport counts into the
+// same fixed vocabulary (a metrics.CounterSet), so the live runtime can
+// merge transport health into NodeStats.Protocol / ServerStats.Protocol
+// next to the peercore protocol counters. Names are prefixed "transport"
+// to keep the two vocabularies disjoint.
+const (
+	// ctrSendsEnqueued counts messages accepted by Send (handed to the
+	// transport, not necessarily delivered).
+	ctrSendsEnqueued = iota
+	// ctrFramesDelivered counts frames actually written to the network (or,
+	// for the in-memory fabric, placed in the destination mailbox).
+	ctrFramesDelivered
+	// ctrDialFailures counts failed outbound connection attempts.
+	ctrDialFailures
+	// ctrWriteTimeouts counts writes cut off by the write deadline.
+	ctrWriteTimeouts
+	// ctrWriteErrors counts non-timeout write failures (peer reset, encode
+	// rejection, ...).
+	ctrWriteErrors
+	// ctrDropsOverflow counts messages evicted from a full outbox
+	// (drop-oldest backpressure).
+	ctrDropsOverflow
+	// ctrDropsDown counts messages dropped because the destination is
+	// unreachable and the sender is backing off before re-dialing.
+	ctrDropsDown
+	// ctrReconnects counts successful re-dials after a connection was lost
+	// (the first connection to a destination is not a reconnect).
+	ctrReconnects
+	// ctrInboxDrops counts inbound messages dropped because the local inbox
+	// was full.
+	ctrInboxDrops
+	// ctrFaultLossDrops counts messages dropped by injected random loss.
+	ctrFaultLossDrops
+	// ctrFaultPartitionDrops counts messages dropped by an injected
+	// partition window.
+	ctrFaultPartitionDrops
+	// ctrFaultDelayed counts messages delayed by injected latency.
+	ctrFaultDelayed
+
+	numTransportCounters
+)
+
+var transportCounterNames = [numTransportCounters]string{
+	ctrSendsEnqueued:       "transportSendsEnqueued",
+	ctrFramesDelivered:     "transportFramesDelivered",
+	ctrDialFailures:        "transportDialFailures",
+	ctrWriteTimeouts:       "transportWriteTimeouts",
+	ctrWriteErrors:         "transportWriteErrors",
+	ctrDropsOverflow:       "transportDropsOverflow",
+	ctrDropsDown:           "transportDropsDown",
+	ctrReconnects:          "transportReconnects",
+	ctrInboxDrops:          "transportInboxDrops",
+	ctrFaultLossDrops:      "transportFaultLossDrops",
+	ctrFaultPartitionDrops: "transportFaultPartitionDrops",
+	ctrFaultDelayed:        "transportFaultDelayed",
+}
+
+// newTransportCounters returns a zeroed health counter set.
+func newTransportCounters() *metrics.CounterSet {
+	return metrics.NewCounterSet(transportCounterNames[:])
+}
+
+// Instrumented is implemented by transports that track health counters.
+// Counters returns a name→value snapshot using the shared
+// "transport*"-prefixed vocabulary.
+type Instrumented interface {
+	Counters() map[string]int64
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"errors"
 	"testing"
 
 	"p2pcollect/internal/rlnc"
@@ -40,6 +41,9 @@ func FuzzDecodeMessage(f *testing.F) {
 		if err != nil {
 			return // rejection is fine; panics are not
 		}
+		if len(body) > maxFrameSize {
+			t.Fatalf("decoder accepted %d-byte body beyond the frame limit", len(body))
+		}
 		frame, err := EncodeMessage(m)
 		if err != nil {
 			t.Fatalf("decoded message failed to re-encode: %v (%+v)", err, m)
@@ -60,6 +64,61 @@ func FuzzDecodeMessage(f *testing.F) {
 				!bytes.Equal(again.Block.Payload, m.Block.Payload) {
 				t.Fatal("round trip changed block contents")
 			}
+		}
+	})
+}
+
+// blockBodyLen is the exact frame body size of a MsgBlock with the given
+// field lengths, mirroring the wire layout.
+func blockBodyLen(coeffLen, payloadLen int) int {
+	return headerLen + 8 + 8 + 4 + coeffLen + 4 + payloadLen
+}
+
+// FuzzEncodeSizeBoundary checks the encode/decode size contract from both
+// sides of the maxFrameSize boundary: EncodeMessage must reject exactly the
+// messages whose body would exceed the limit (instead of producing frames
+// every receiver rejects), and everything it does produce must survive
+// ReadFrame.
+func FuzzEncodeSizeBoundary(f *testing.F) {
+	atBoundary := maxFrameSize - blockBodyLen(4, 0) // payload len hitting the limit exactly
+	f.Add(uint32(4), uint32(atBoundary))
+	f.Add(uint32(4), uint32(atBoundary+1))
+	f.Add(uint32(1), uint32(0))
+	f.Add(uint32(maxFrameSize), uint32(maxFrameSize))
+
+	f.Fuzz(func(t *testing.T, coeffLen, payloadLen uint32) {
+		const span = maxFrameSize + 4096 // keep allocations near the boundary
+		coeffLen %= span
+		payloadLen %= span
+		if coeffLen == 0 {
+			coeffLen = 1 // decoder requires coefficients
+		}
+		m := &Message{
+			Type: MsgBlock, From: 1, To: 2,
+			Block: &rlnc.CodedBlock{
+				Seg:     rlnc.SegmentID{Origin: 1, Seq: 2},
+				Coeffs:  make([]byte, coeffLen),
+				Payload: make([]byte, payloadLen),
+			},
+		}
+		m.Block.Coeffs[0] = 1
+		frame, err := EncodeMessage(m)
+		oversize := blockBodyLen(int(coeffLen), int(payloadLen)) > maxFrameSize
+		if oversize {
+			if !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("oversize body encoded without ErrFrameTooLarge (err=%v)", err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("in-bounds body rejected: %v", err)
+		}
+		got, err := ReadFrame(bytes.NewReader(frame))
+		if err != nil {
+			t.Fatalf("receiver rejected an encoder-approved frame: %v", err)
+		}
+		if got.Block == nil || len(got.Block.Coeffs) != int(coeffLen) || len(got.Block.Payload) != int(payloadLen) {
+			t.Fatalf("size boundary round trip mangled the block")
 		}
 	})
 }

@@ -1,23 +1,75 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"p2pcollect/internal/metrics"
 )
 
+// TCPOptions tunes the TCP transport's liveness behavior. The zero value
+// selects the defaults documented on each field.
+type TCPOptions struct {
+	// DialTimeout bounds each outbound connection attempt. Default 1s.
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write; a write that exceeds it drops
+	// the connection (and the frame) and triggers an asynchronous
+	// reconnect. Default 2s.
+	WriteTimeout time.Duration
+	// OutboxSize bounds the per-destination send queue. When full, the
+	// oldest queued message is dropped (the protocol tolerates loss).
+	// Default 256.
+	OutboxSize int
+	// BackoffMin is the first reconnect delay after a dial or write
+	// failure. Default 50ms.
+	BackoffMin time.Duration
+	// BackoffMax caps the exponential reconnect backoff. Default 5s.
+	BackoffMax time.Duration
+}
+
+func (o TCPOptions) withDefaults() TCPOptions {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = time.Second
+	}
+	if o.WriteTimeout <= 0 {
+		o.WriteTimeout = 2 * time.Second
+	}
+	if o.OutboxSize <= 0 {
+		o.OutboxSize = 256
+	}
+	if o.BackoffMin <= 0 {
+		o.BackoffMin = 50 * time.Millisecond
+	}
+	if o.BackoffMax < o.BackoffMin {
+		o.BackoffMax = 5 * time.Second
+	}
+	return o
+}
+
 // TCPTransport carries protocol frames over TCP connections. Each node
-// listens on one address and dials peers lazily from an address book.
-// Sending is best-effort: a broken connection drops the message and the
-// connection; the next send re-dials.
+// listens on one address and dials peers from an address book.
+//
+// Sending never blocks on the network: Send enqueues onto a bounded
+// per-destination outbox drained by a dedicated sender goroutine, which
+// owns that destination's connection. Dials are bounded by DialTimeout,
+// writes by WriteTimeout, and a lost connection is re-dialed with capped
+// exponential backoff; messages that arrive while the destination is
+// unreachable are dropped, like the loss-tolerant protocol expects. Health
+// is tracked in the transport counter vocabulary (see Counters).
 type TCPTransport struct {
 	id       NodeID
+	opts     TCPOptions
 	listener net.Listener
 	inbox    chan *Message
+	counters *metrics.CounterSet
+	stop     chan struct{}
 
 	mu       sync.Mutex
 	book     map[NodeID]string
-	conns    map[NodeID]*tcpConn
+	senders  map[NodeID]*tcpSender
 	accepted map[net.Conn]struct{}
 	closed   bool
 
@@ -25,27 +77,31 @@ type TCPTransport struct {
 }
 
 var _ Transport = (*TCPTransport)(nil)
-
-// tcpConn serializes writes on one outgoing connection.
-type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
-}
+var _ Instrumented = (*TCPTransport)(nil)
 
 // ListenTCP starts a transport for id on addr (use ":0" for an ephemeral
-// port) with the given address book mapping node IDs to dialable addresses.
-// The book is copied; add later routes with AddRoute.
+// port) with the given address book mapping node IDs to dialable addresses
+// and default TCPOptions. The book is copied; add later routes with
+// AddRoute.
 func ListenTCP(id NodeID, addr string, book map[NodeID]string) (*TCPTransport, error) {
+	return ListenTCPOpts(id, addr, book, TCPOptions{})
+}
+
+// ListenTCPOpts is ListenTCP with explicit liveness options.
+func ListenTCPOpts(id NodeID, addr string, book map[NodeID]string, opts TCPOptions) (*TCPTransport, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
 	}
 	t := &TCPTransport{
 		id:       id,
+		opts:     opts.withDefaults(),
 		listener: ln,
 		inbox:    make(chan *Message, defaultInboxSize),
+		counters: newTransportCounters(),
+		stop:     make(chan struct{}),
 		book:     make(map[NodeID]string, len(book)),
-		conns:    make(map[NodeID]*tcpConn),
+		senders:  make(map[NodeID]*tcpSender),
 		accepted: make(map[net.Conn]struct{}),
 	}
 	for k, v := range book {
@@ -59,7 +115,8 @@ func ListenTCP(id NodeID, addr string, book map[NodeID]string) (*TCPTransport, e
 // Addr returns the transport's bound listen address.
 func (t *TCPTransport) Addr() string { return t.listener.Addr().String() }
 
-// AddRoute registers or replaces the dialable address for a node.
+// AddRoute registers or replaces the dialable address for a node. An
+// existing sender picks the new address up on its next (re)dial.
 func (t *TCPTransport) AddRoute(id NodeID, addr string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -72,57 +129,41 @@ func (t *TCPTransport) LocalID() NodeID { return t.id }
 // Receive returns the incoming message channel. It is closed on Close.
 func (t *TCPTransport) Receive() <-chan *Message { return t.inbox }
 
-// Send writes m to the node's connection, dialing if necessary. Transient
-// write failures drop the message (and the connection) without error, like
-// the loss-tolerant protocol expects; unknown destinations and use after
-// Close are reported.
+// Counters returns a snapshot of the transport's health counters.
+func (t *TCPTransport) Counters() map[string]int64 { return t.counters.Snapshot() }
+
+// Send enqueues m for the destination's sender goroutine and returns
+// immediately; it never blocks on dialing or writing. Unknown destinations
+// and use after Close are reported; everything else is best-effort and
+// visible only through the health counters.
 func (t *TCPTransport) Send(to NodeID, m *Message) error {
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return ErrClosed
 	}
-	c := t.conns[to]
-	addr, known := t.book[to]
-	t.mu.Unlock()
-	if c == nil {
-		if !known {
+	s := t.senders[to]
+	if s == nil {
+		if _, known := t.book[to]; !known {
+			t.mu.Unlock()
 			return fmt.Errorf("%w: %d", ErrUnknownNode, to)
 		}
-		conn, err := net.Dial("tcp", addr)
-		if err != nil {
-			return nil // destination down; drop like a lost datagram
-		}
-		c = &tcpConn{conn: conn}
-		t.mu.Lock()
-		if t.closed {
-			t.mu.Unlock()
-			conn.Close()
-			return ErrClosed
-		}
-		if existing := t.conns[to]; existing != nil {
-			t.mu.Unlock()
-			conn.Close()
-			c = existing
-		} else {
-			t.conns[to] = c
-			t.mu.Unlock()
-		}
+		s = &tcpSender{t: t, to: to, outbox: make(chan *Message, t.opts.OutboxSize)}
+		t.senders[to] = s
+		t.wg.Add(1)
+		go s.loop()
 	}
+	t.mu.Unlock()
 	cp := *m
 	cp.From = t.id
 	cp.To = to
-	c.mu.Lock()
-	err := WriteFrame(c.conn, &cp)
-	c.mu.Unlock()
-	if err != nil {
-		t.dropConn(to, c)
-	}
+	t.counters.Add(ctrSendsEnqueued, 1)
+	s.enqueue(&cp)
 	return nil
 }
 
-// Close shuts the listener and all connections down and closes the inbox
-// once every reader goroutine has exited.
+// Close shuts the listener, all connections, and all sender goroutines
+// down, then closes the inbox once every goroutine has exited.
 func (t *TCPTransport) Close() error {
 	t.mu.Lock()
 	if t.closed {
@@ -130,16 +171,12 @@ func (t *TCPTransport) Close() error {
 		return nil
 	}
 	t.closed = true
-	conns := t.conns
-	t.conns = make(map[NodeID]*tcpConn)
 	accepted := t.accepted
 	t.accepted = make(map[net.Conn]struct{})
 	t.mu.Unlock()
 
+	close(t.stop)
 	t.listener.Close()
-	for _, c := range conns {
-		c.conn.Close()
-	}
 	for conn := range accepted {
 		conn.Close()
 	}
@@ -148,13 +185,114 @@ func (t *TCPTransport) Close() error {
 	return nil
 }
 
-func (t *TCPTransport) dropConn(to NodeID, c *tcpConn) {
+// addrOf resolves the current book entry for a destination.
+func (t *TCPTransport) addrOf(to NodeID) (string, bool) {
 	t.mu.Lock()
-	if t.conns[to] == c {
-		delete(t.conns, to)
+	defer t.mu.Unlock()
+	addr, ok := t.book[to]
+	return addr, ok
+}
+
+// tcpSender owns the connection to one destination and drains its outbox.
+type tcpSender struct {
+	t      *TCPTransport
+	to     NodeID
+	outbox chan *Message
+}
+
+// enqueue adds m to the outbox, evicting the oldest queued message when it
+// is full (drop-oldest mirrors the protocol's preference for fresh blocks).
+func (s *tcpSender) enqueue(m *Message) {
+	for {
+		select {
+		case s.outbox <- m:
+			return
+		default:
+		}
+		select {
+		case <-s.outbox:
+			s.t.counters.Add(ctrDropsOverflow, 1)
+		default:
+		}
 	}
-	t.mu.Unlock()
-	c.conn.Close()
+}
+
+// loop dials, writes, and reconnects with capped exponential backoff. A
+// destination that is down costs at most one bounded dial per backoff
+// window; messages arriving inside the window are dropped and counted.
+func (s *tcpSender) loop() {
+	defer s.t.wg.Done()
+	var conn net.Conn
+	defer func() {
+		if conn != nil {
+			conn.Close()
+		}
+	}()
+	opts := s.t.opts
+	backoff := opts.BackoffMin
+	var nextDial time.Time
+	connectedOnce := false
+	for {
+		select {
+		case <-s.t.stop:
+			return
+		case m := <-s.outbox:
+			if conn == nil {
+				if !nextDial.IsZero() && time.Now().Before(nextDial) {
+					s.t.counters.Add(ctrDropsDown, 1)
+					continue
+				}
+				addr, ok := s.t.addrOf(s.to)
+				if !ok {
+					s.t.counters.Add(ctrDropsDown, 1)
+					continue
+				}
+				c, err := net.DialTimeout("tcp", addr, opts.DialTimeout)
+				if err != nil {
+					s.t.counters.Add(ctrDialFailures, 1)
+					s.t.counters.Add(ctrDropsDown, 1)
+					nextDial = time.Now().Add(backoff)
+					backoff = minDuration(backoff*2, opts.BackoffMax)
+					continue
+				}
+				conn = c
+				backoff = opts.BackoffMin
+				nextDial = time.Time{}
+				if connectedOnce {
+					s.t.counters.Add(ctrReconnects, 1)
+				}
+				connectedOnce = true
+			}
+			frame, err := EncodeMessage(m)
+			if err != nil {
+				// Malformed message: drop it, keep the connection.
+				s.t.counters.Add(ctrWriteErrors, 1)
+				continue
+			}
+			conn.SetWriteDeadline(time.Now().Add(opts.WriteTimeout)) //nolint:errcheck
+			if _, err := conn.Write(frame); err != nil {
+				var ne net.Error
+				if errors.As(err, &ne) && ne.Timeout() {
+					s.t.counters.Add(ctrWriteTimeouts, 1)
+				} else {
+					s.t.counters.Add(ctrWriteErrors, 1)
+				}
+				conn.Close()
+				conn = nil
+				nextDial = time.Now().Add(backoff)
+				backoff = minDuration(backoff*2, opts.BackoffMax)
+				continue
+			}
+			s.t.counters.Add(ctrFramesDelivered, 1)
+		}
+	}
+}
+
+func minDuration(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
 }
 
 func (t *TCPTransport) acceptLoop() {
@@ -200,6 +338,7 @@ func (t *TCPTransport) readLoop(conn net.Conn) {
 		case t.inbox <- m:
 		default:
 			// Backpressure: drop, matching the loss-tolerant protocol.
+			t.counters.Add(ctrInboxDrops, 1)
 		}
 	}
 }

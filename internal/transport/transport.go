@@ -67,6 +67,10 @@ var ErrClosed = errors.New("transport: closed")
 // resolve.
 var ErrUnknownNode = errors.New("transport: unknown node")
 
+// ErrFrameTooLarge is returned by EncodeMessage for a message whose frame
+// would exceed maxFrameSize and so would be rejected by every receiver.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds size limit")
+
 // Transport moves messages for one local node. Implementations must be safe
 // for concurrent use.
 //

@@ -127,6 +127,29 @@ func TestReadFrameRejectsOversize(t *testing.T) {
 	}
 }
 
+func TestEncodeRejectsOversizeMessage(t *testing.T) {
+	m := &Message{
+		Type: MsgBlock, From: 1, To: 2,
+		Block: &rlnc.CodedBlock{
+			Seg:     rlnc.SegmentID{Origin: 1, Seq: 1},
+			Coeffs:  []byte{1},
+			Payload: make([]byte, maxFrameSize),
+		},
+	}
+	if _, err := EncodeMessage(m); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("err = %v, want ErrFrameTooLarge", err)
+	}
+	// Right at the boundary it must still encode and be accepted back.
+	m.Block.Payload = make([]byte, maxFrameSize-(headerLen+8+8+4+1+4))
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		t.Fatalf("boundary-size message rejected: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(frame)); err != nil {
+		t.Errorf("boundary-size frame rejected by receiver: %v", err)
+	}
+}
+
 func recvWithTimeout(t *testing.T, ch <-chan *Message) *Message {
 	t.Helper()
 	select {

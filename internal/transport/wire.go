@@ -22,7 +22,9 @@ import (
 // MsgPullRequest payload:     (empty)
 // MsgEmpty payload:           (empty)
 
-// maxFrameSize bounds a frame to guard against corrupt length prefixes.
+// maxFrameSize bounds a frame body, both on the read side (guarding
+// against corrupt length prefixes) and on the encode side (a frame the
+// receiver would reject must not be produced in the first place).
 const maxFrameSize = 16 << 20
 
 // headerLen is the fixed body prefix: type + from + to.
@@ -50,6 +52,9 @@ func EncodeMessage(m *Message) ([]byte, error) {
 		// No payload.
 	default:
 		return nil, fmt.Errorf("transport: cannot encode %v", m.Type)
+	}
+	if len(body) > maxFrameSize {
+		return nil, fmt.Errorf("%w: body %d bytes > %d", ErrFrameTooLarge, len(body), maxFrameSize)
 	}
 	frame := make([]byte, 4+len(body))
 	binary.BigEndian.PutUint32(frame, uint32(len(body)))

@@ -27,6 +27,7 @@ import (
 	"p2pcollect/internal/analysis"
 	"p2pcollect/internal/live"
 	"p2pcollect/internal/ode"
+	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 	"p2pcollect/internal/sim"
 	"p2pcollect/internal/transport"
@@ -110,6 +111,16 @@ type (
 	Transport = transport.Transport
 	// Network is the in-memory message fabric.
 	Network = transport.Network
+	// TCPOptions tunes the TCP transport's dial/write deadlines, outbox
+	// bound, and reconnect backoff.
+	TCPOptions = transport.TCPOptions
+	// FaultConfig parameterizes injected transport faults (loss, latency,
+	// partitions) for chaos testing.
+	FaultConfig = transport.FaultConfig
+	// FaultPartition is one scheduled partition window.
+	FaultPartition = transport.FaultPartition
+	// FaultyTransport wraps any Transport with seeded fault injection.
+	FaultyTransport = transport.Faulty
 	// SegmentID identifies a coded segment network-wide.
 	SegmentID = rlnc.SegmentID
 )
@@ -128,7 +139,21 @@ func NewNode(tr Transport, cfg NodeConfig) (*Node, error) { return live.NewNode(
 func NewServer(tr Transport, cfg ServerConfig) (*Server, error) { return live.NewServer(tr, cfg) }
 
 // NewTCPTransport starts a TCP transport for id on addr (":0" for an
-// ephemeral port) with an address book mapping node IDs to addresses.
+// ephemeral port) with an address book mapping node IDs to addresses and
+// default liveness options.
 func NewTCPTransport(id NodeID, addr string, book map[NodeID]string) (*transport.TCPTransport, error) {
 	return transport.ListenTCP(id, addr, book)
+}
+
+// NewTCPTransportOpts is NewTCPTransport with explicit dial/write deadline,
+// outbox, and reconnect-backoff options.
+func NewTCPTransportOpts(id NodeID, addr string, book map[NodeID]string, opts TCPOptions) (*transport.TCPTransport, error) {
+	return transport.ListenTCPOpts(id, addr, book, opts)
+}
+
+// NewFaultyTransport wraps a transport with seeded fault injection —
+// random loss, a latency distribution, and a partition schedule — for
+// rehearsing failure against the exact production code paths.
+func NewFaultyTransport(inner Transport, cfg FaultConfig, seed int64) *FaultyTransport {
+	return transport.NewFaulty(inner, cfg, randx.New(seed))
 }
