@@ -784,6 +784,7 @@ func All(opt Options, w io.Writer) error {
 		{"flashjoin", FlashJoinTable},
 		{"topology", TopologyTable},
 		{"codingcost", CodingCostTable},
+		{"pullsched", PullPolicyTable},
 	}
 	for _, g := range gens {
 		tbl, err := g.fn(opt)
@@ -830,6 +831,8 @@ func ByName(name string) (func(Options) (*metrics.Table, error), bool) {
 		return TopologyTable, true
 	case "codingcost", "a5":
 		return CodingCostTable, true
+	case "pullsched", "a6":
+		return PullPolicyTable, true
 	default:
 		return nil, false
 	}

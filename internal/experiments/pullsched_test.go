@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+
+	"p2pcollect/internal/pullsched"
+)
+
+func TestPullPolicyTableFeedbackPoliciesBeatBlind(t *testing.T) {
+	tbl, err := PullPolicyTable(tinyOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 1 of each series is the redundant-pull fraction; both feedback
+	// policies must come in strictly below the blind baseline at the same
+	// seed — the subsystem's acceptance bar.
+	redundant := map[string]float64{}
+	for _, s := range tbl.Series() {
+		if len(s.Points) == 0 || s.Points[0].X != 1 {
+			t.Fatalf("series %q: first row is not the redundant fraction", s.Name)
+		}
+		redundant[s.Name] = s.Points[0].Y
+	}
+	blind, ok := redundant[pullsched.NameBlind]
+	if !ok {
+		t.Fatalf("no blind series; got %v", redundant)
+	}
+	for _, name := range []string{pullsched.NameRankGreedy, pullsched.NameRarestFirst} {
+		got, ok := redundant[name]
+		if !ok {
+			t.Fatalf("no %s series; got %v", name, redundant)
+		}
+		if got >= blind {
+			t.Errorf("%s redundant fraction %.4f, want < blind %.4f", name, got, blind)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 
+	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 	"p2pcollect/internal/topology"
@@ -25,6 +26,10 @@ type ClusterConfig struct {
 	Node NodeConfig
 	// PullRate is each server's c_s in pulls/second.
 	PullRate float64
+	// PullPolicy names the servers' pull-scheduling policy (see
+	// pullsched.Names). Empty selects "blind", the paper-faithful baseline.
+	// Each server gets its own policy instance seeded from the cluster seed.
+	PullPolicy string
 	// OnSegment observes every segment reconstructed by any server.
 	OnSegment func(id rlnc.SegmentID, blocks [][]byte)
 	// WrapTransport, when set, wraps every endpoint's transport before the
@@ -89,11 +94,24 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		peerIDs[i] = transport.NodeID(i + 1)
 	}
 	for j := 0; j < cfg.Servers; j++ {
+		// The server seed is drawn first and the policy seed only for
+		// feedback policies, so a blind cluster consumes exactly the same
+		// RNG sequence as before pull scheduling existed.
+		srvSeed := rng.Int63()
+		var polSeed int64
+		if cfg.PullPolicy != "" && cfg.PullPolicy != pullsched.NameBlind {
+			polSeed = rng.Int63()
+		}
+		policy, err := pullsched.New(cfg.PullPolicy, polSeed)
+		if err != nil {
+			return fail(err)
+		}
 		srv, err := NewServer(join(transport.NodeID(serverIDBase+j)), ServerConfig{
 			PullRate:    cfg.PullRate,
 			Peers:       peerIDs,
 			SegmentSize: cfg.Node.SegmentSize,
-			Seed:        rng.Int63(),
+			Seed:        srvSeed,
+			Policy:      policy,
 		})
 		if err != nil {
 			return fail(err)

@@ -16,6 +16,7 @@ import (
 
 	"p2pcollect/internal/logdata"
 	"p2pcollect/internal/peercore"
+	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 	"p2pcollect/internal/transport"
@@ -398,7 +399,7 @@ func (n *Node) handle(m *transport.Message) {
 		n.fullAt[m.Seg][m.From] = n.now() + n.cfg.noticeTTL()
 		n.mu.Unlock()
 	case transport.MsgPullRequest:
-		n.servePull(m.From)
+		n.servePull(m)
 	case transport.MsgEmpty:
 		// Peers ignore empties; they are server-bound.
 	}
@@ -423,17 +424,52 @@ func (n *Node) receiveBlock(m *transport.Message) {
 	}
 }
 
-// servePull answers a logging server: one re-encoded block of a uniformly
-// random buffered segment, or an empty notice.
-func (n *Node) servePull(from transport.NodeID) {
+// servePull answers a logging server: one re-encoded block of the hinted
+// segment when the request carries a hint this node still buffers, else of
+// a uniformly random buffered segment, or an empty notice. When the server
+// asked for an inventory, a digest of the buffered segments follows the
+// reply so feedback-driven policies can aim their next pulls.
+func (n *Node) servePull(m *transport.Message) {
 	n.mu.Lock()
 	var reply *transport.Message
-	if segID, ok := n.core.SampleSegment(); ok {
+	segID, ok := m.Seg, m.HasHint && n.core.Holds(m.Seg)
+	if !ok {
+		segID, ok = n.core.SampleSegment()
+	}
+	if ok {
 		reply = &transport.Message{Type: transport.MsgBlock, Block: n.core.Recode(segID)}
 		n.counters.Count(peercore.EvPullServed, 1)
 	} else {
 		reply = &transport.Message{Type: transport.MsgEmpty}
 	}
+	var inv *transport.Message
+	if m.WantInventory {
+		inv = &transport.Message{Type: transport.MsgInventory, Inventory: n.inventory()}
+	}
 	n.mu.Unlock()
-	n.tr.Send(from, reply) //nolint:errcheck // best-effort reply
+	n.tr.Send(m.From, reply) //nolint:errcheck // best-effort reply
+	if inv != nil {
+		n.tr.Send(m.From, inv) //nolint:errcheck // best-effort digest
+	}
+}
+
+// inventory digests the buffered segments for a pull reply. Block counts
+// are clamped to the wire format's 16-bit field; a count that large is
+// indistinguishable from "plenty" to any scheduling policy. Callers hold
+// mu.
+func (n *Node) inventory() []pullsched.InventoryEntry {
+	k := n.core.NumSegments()
+	if k == 0 {
+		return nil
+	}
+	inv := make([]pullsched.InventoryEntry, 0, k)
+	for i := 0; i < k; i++ {
+		seg := n.core.SegmentAt(i)
+		blocks := n.core.BlocksOf(seg)
+		if blocks > 0xFFFF {
+			blocks = 0xFFFF
+		}
+		inv = append(inv, pullsched.InventoryEntry{Seg: seg, Blocks: blocks})
+	}
+	return inv
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"p2pcollect/internal/peercore"
+	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 	"p2pcollect/internal/transport"
@@ -32,6 +33,12 @@ type ServerConfig struct {
 	FinishedCap int
 	// Seed makes the pull sequence reproducible.
 	Seed int64
+	// Policy schedules this server's pulls; nil selects pullsched.Blind,
+	// the paper-faithful baseline (random peer, no hint), whose seeded pull
+	// sequence is identical to the pre-scheduling server's. Policies are
+	// stateful — give each server its own instance. The server serializes
+	// all policy calls under its mutex.
+	Policy pullsched.Policy
 }
 
 func (c ServerConfig) validate() error {
@@ -77,6 +84,7 @@ type Server struct {
 
 	mu        sync.Mutex
 	rng       *randx.Rand
+	policy    pullsched.Policy
 	counters  *peercore.Counters
 	collector *peercore.Collector // nil until the segment size is known
 	finished  map[rlnc.SegmentID]bool
@@ -103,10 +111,15 @@ func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
 	if cfg.FinishedCap == 0 {
 		cfg.FinishedCap = defaultFinishedCap
 	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = pullsched.Blind{}
+	}
 	s := &Server{
 		cfg:      cfg,
 		tr:       tr,
 		rng:      randx.New(cfg.Seed),
+		policy:   policy,
 		counters: peercore.NewCounters(),
 		finished: make(map[rlnc.SegmentID]bool),
 		stop:     make(chan struct{}),
@@ -194,13 +207,38 @@ func (s *Server) pullLoop() {
 			return
 		case <-timer.C:
 			s.mu.Lock()
-			peer := s.cfg.Peers[s.rng.Intn(len(s.cfg.Peers))]
-			s.counters.Count(peercore.EvPullSent, 1)
+			dec, ok := s.policy.Choose(s.now(), liveEnv{s})
 			s.mu.Unlock()
-			s.tr.Send(peer, &transport.Message{Type: transport.MsgPullRequest}) //nolint:errcheck // best-effort
+			if ok {
+				msg := &transport.Message{Type: transport.MsgPullRequest}
+				if dec.HasHint {
+					msg.HasHint = true
+					msg.Seg = dec.Hint
+				}
+				msg.WantInventory = dec.WantInventory
+				// EvPullSent counts pulls the transport accepted, mirroring
+				// the gossip-send accounting: a pull the transport refused
+				// outright was never in flight.
+				if err := s.tr.Send(transport.NodeID(dec.Peer), msg); err == nil {
+					s.mu.Lock()
+					s.counters.Count(peercore.EvPullSent, 1)
+					s.mu.Unlock()
+				}
+			}
 			timer.Reset(delay())
 		}
 	}
+}
+
+// liveEnv adapts the server to the policy's driver view. SamplePeer is the
+// blind baseline draw — a uniform peer from the configured set, using the
+// server's own seeded RNG — so Blind reproduces the pre-scheduling pull
+// sequence exactly. Callers hold s.mu.
+type liveEnv struct{ s *Server }
+
+func (e liveEnv) SamplePeer() (pullsched.PeerRef, bool) {
+	peers := e.s.cfg.Peers
+	return pullsched.PeerRef(peers[e.s.rng.Intn(len(peers))]), true
 }
 
 func (s *Server) recvLoop() {
@@ -215,10 +253,19 @@ func (s *Server) recvLoop() {
 			}
 			switch m.Type {
 			case transport.MsgBlock:
-				s.receiveBlock(m.Block)
+				s.receiveBlock(m)
 			case transport.MsgEmpty:
 				s.mu.Lock()
 				s.counters.Count(peercore.EvEmptyReply, 1)
+				s.policy.Feedback(pullsched.Feedback{
+					Peer:  pullsched.PeerRef(m.From),
+					Time:  s.now(),
+					Empty: true,
+				})
+				s.mu.Unlock()
+			case transport.MsgInventory:
+				s.mu.Lock()
+				s.policy.ObserveInventory(s.now(), pullsched.PeerRef(m.From), m.Inventory)
 				s.mu.Unlock()
 			default:
 				// Servers ignore peer-to-peer chatter.
@@ -228,15 +275,21 @@ func (s *Server) recvLoop() {
 }
 
 // receiveBlock feeds a pulled block into the shared collection state
-// machine and fires OnSegment at full rank.
-func (s *Server) receiveBlock(cb *rlnc.CodedBlock) {
+// machine, reports the outcome to the pull policy, and fires OnSegment at
+// full rank. The feedback uses the live server's rank-based accounting —
+// it must reach full rank to decode payloads, so "useful" means linearly
+// innovative and "done" means decoded (or already finished and forgotten).
+func (s *Server) receiveBlock(m *transport.Message) {
+	cb := m.Block
 	if cb == nil {
 		return
 	}
+	from := pullsched.PeerRef(m.From)
 	s.mu.Lock()
 	s.counters.Count(peercore.EvBlockReceived, 1)
 	if s.finished[cb.Seg] {
 		s.redundant++
+		s.policy.Feedback(pullsched.Feedback{Peer: from, Time: s.now(), Seg: cb.Seg, Done: true})
 		s.mu.Unlock()
 		return
 	}
@@ -244,7 +297,20 @@ func (s *Server) receiveBlock(cb *rlnc.CodedBlock) {
 		s.collector = peercore.NewCollector(peercore.CollectorConfig{SegmentSize: cb.SegmentSize()}, s.counters)
 	}
 	out, col, err := s.collector.Receive(s.now(), cb)
-	if err != nil || !out.Innovative {
+	if err != nil {
+		s.redundant++
+		s.mu.Unlock()
+		return
+	}
+	s.policy.Feedback(pullsched.Feedback{
+		Peer:    from,
+		Time:    s.now(),
+		Seg:     cb.Seg,
+		Useful:  out.Innovative,
+		Done:    out.Decoded,
+		Deficit: col.RankDeficit(),
+	})
+	if !out.Innovative {
 		s.redundant++
 		s.mu.Unlock()
 		return

@@ -46,6 +46,16 @@ func (c *Collection) State() int { return c.state }
 // Rank returns the decoder rank.
 func (c *Collection) Rank() int { return c.dec.Rank() }
 
+// Deficit returns how many more useful blocks the state counter needs to
+// reach s — the paper's accounting of remaining collection work. Pull
+// policies rank segments by this.
+func (c *Collection) Deficit() int { return c.dec.Size() - c.state }
+
+// RankDeficit returns how many more innovative blocks the decoder needs for
+// full rank — the ground-truth remaining work a decoding server schedules
+// against.
+func (c *Collection) RankDeficit() int { return c.dec.Size() - c.dec.Rank() }
+
 // Delivered reports whether the state counter has reached s.
 func (c *Collection) Delivered() bool { return c.deliveredAt > 0 }
 

@@ -1,0 +1,122 @@
+package peercore
+
+import (
+	"testing"
+
+	"p2pcollect/internal/rlnc"
+)
+
+func TestCollectionDeficits(t *testing.T) {
+	c := NewCollector(CollectorConfig{SegmentSize: 3}, nil)
+	seg := rlnc.SegmentID{Origin: 1}
+	col := c.Open(seg, 0)
+	if col.Deficit() != 3 || col.RankDeficit() != 3 {
+		t.Fatalf("fresh deficits = %d/%d, want 3/3", col.Deficit(), col.RankDeficit())
+	}
+	b := &rlnc.CodedBlock{Seg: seg, Coeffs: []byte{1, 0, 0}}
+	if _, _, err := c.Receive(1, b); err != nil {
+		t.Fatal(err)
+	}
+	if col.Deficit() != 2 || col.RankDeficit() != 2 {
+		t.Fatalf("deficits after useful pull = %d/%d, want 2/2", col.Deficit(), col.RankDeficit())
+	}
+	// A duplicate advances the state counter but not the rank, so the two
+	// accountings diverge exactly as the policies expect.
+	if _, _, err := c.Receive(2, b); err != nil {
+		t.Fatal(err)
+	}
+	if col.Deficit() != 1 || col.RankDeficit() != 2 {
+		t.Fatalf("deficits after duplicate = %d/%d, want 1/2", col.Deficit(), col.RankDeficit())
+	}
+}
+
+// TestCollectorForgetBoundsMemory drives a long pull sequence — deliver a
+// segment, forget it, move on — and checks the collector's working set
+// stays at one collection while the counters keep exact totals, the
+// bounded-server-memory contract Forget exists for.
+func TestCollectorForgetBoundsMemory(t *testing.T) {
+	sink := NewCounters()
+	c := NewCollector(CollectorConfig{SegmentSize: 2}, sink)
+	const segments = 500
+	maxOpen := 0
+	for i := 0; i < segments; i++ {
+		seg := rlnc.SegmentID{Origin: 3, Seq: uint64(i)}
+		out, _, err := c.Receive(float64(i), &rlnc.CodedBlock{Seg: seg, Coeffs: []byte{1, 0}})
+		if err != nil || !out.Useful || out.Delivered {
+			t.Fatalf("segment %d first pull: %+v err=%v", i, out, err)
+		}
+		out, _, err = c.Receive(float64(i), &rlnc.CodedBlock{Seg: seg, Coeffs: []byte{0, 1}})
+		if err != nil || !out.Delivered || !out.Decoded {
+			t.Fatalf("segment %d second pull: %+v err=%v", i, out, err)
+		}
+		if n := c.OpenCount(); n > maxOpen {
+			maxOpen = n
+		}
+		c.Forget(seg)
+	}
+	if maxOpen != 1 {
+		t.Fatalf("peak working set = %d collections, want 1", maxOpen)
+	}
+	if c.OpenCount() != 0 {
+		t.Fatalf("OpenCount = %d after forgetting everything", c.OpenCount())
+	}
+	if sink.Get(EvServerPull) != 2*segments || sink.Get(EvUsefulPull) != 2*segments ||
+		sink.Get(EvRedundantPull) != 0 || sink.Get(EvDeliveredSegment) != segments ||
+		sink.Get(EvDecodedSegment) != segments {
+		t.Fatalf("counters drifted across forgets: %v", sink.Snapshot())
+	}
+	// A straggler block for a forgotten segment opens a fresh zeroed
+	// collection; it does not resurrect the old state.
+	out, col, err := c.Receive(9999, &rlnc.CodedBlock{Seg: rlnc.SegmentID{Origin: 3, Seq: 0}, Coeffs: []byte{1, 1}})
+	if err != nil || !out.Useful || out.Delivered || col.State() != 1 {
+		t.Fatalf("straggler after forget: %+v state=%d err=%v", out, col.State(), err)
+	}
+}
+
+// BenchmarkCollectorReceive measures the two Receive paths a scheduler
+// trades between: useful pulls that advance state and rank, and redundant
+// pulls against a saturated collection.
+func BenchmarkCollectorReceive(b *testing.B) {
+	const s = 16
+	seg := rlnc.SegmentID{Origin: 1}
+	payload := make([]byte, 64)
+	blocks := make([]*rlnc.CodedBlock, s)
+	for i := range blocks {
+		coeffs := make([]byte, s)
+		coeffs[i] = 1
+		blocks[i] = &rlnc.CodedBlock{Seg: seg, Coeffs: coeffs, Payload: payload}
+	}
+
+	b.Run("useful", func(b *testing.B) {
+		c := NewCollector(CollectorConfig{SegmentSize: s}, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := i % s
+			if j == 0 {
+				c.Forget(seg) // restart the collection so every pull is useful
+			}
+			out, _, err := c.Receive(1, blocks[j])
+			if err != nil || !out.Useful {
+				b.Fatalf("pull %d: %+v err=%v", i, out, err)
+			}
+		}
+	})
+
+	b.Run("redundant", func(b *testing.B) {
+		c := NewCollector(CollectorConfig{SegmentSize: s}, nil)
+		for _, blk := range blocks {
+			if _, _, err := c.Receive(1, blk); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			out, _, err := c.Receive(1, blocks[0])
+			if err != nil || out.Useful {
+				b.Fatalf("pull %d: %+v err=%v", i, out, err)
+			}
+		}
+	})
+}

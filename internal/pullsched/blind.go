@@ -1,0 +1,25 @@
+package pullsched
+
+// Blind is the paper's baseline scheduler: pull from a uniformly random
+// non-empty peer (the driver's Env.SamplePeer draw), let the peer choose a
+// uniformly random buffered segment, ignore all feedback. It makes no RNG
+// calls of its own and never hints, so a seeded run scheduled by Blind is
+// byte-for-byte the run the unscheduled protocol produced.
+type Blind struct{}
+
+var _ Policy = Blind{}
+
+// Name implements Policy.
+func (Blind) Name() string { return NameBlind }
+
+// Choose implements Policy: the driver's uniform peer draw, no hint.
+func (Blind) Choose(_ float64, env Env) (Decision, bool) {
+	peer, ok := env.SamplePeer()
+	return Decision{Peer: peer}, ok
+}
+
+// Feedback implements Policy; Blind ignores outcomes.
+func (Blind) Feedback(Feedback) {}
+
+// ObserveInventory implements Policy; Blind never requests inventories.
+func (Blind) ObserveInventory(float64, PeerRef, []InventoryEntry) {}

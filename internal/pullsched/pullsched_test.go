@@ -1,0 +1,311 @@
+package pullsched
+
+import (
+	"testing"
+
+	"p2pcollect/internal/rlnc"
+)
+
+// scriptEnv returns a fixed sequence of peers and records how many draws
+// the policy made, so tests can assert a policy's exact RNG footprint.
+type scriptEnv struct {
+	peers []PeerRef
+	calls int
+}
+
+func (e *scriptEnv) SamplePeer() (PeerRef, bool) {
+	if e.calls >= len(e.peers) {
+		return 0, false
+	}
+	p := e.peers[e.calls]
+	e.calls++
+	return p, true
+}
+
+func seg(origin, seq uint64) rlnc.SegmentID {
+	return rlnc.SegmentID{Origin: origin, Seq: seq}
+}
+
+func TestNewRegistry(t *testing.T) {
+	for _, name := range append(Names(), "") {
+		p, err := New(name, 1)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		want := name
+		if want == "" {
+			want = NameBlind
+		}
+		if p.Name() != want {
+			t.Fatalf("New(%q).Name() = %q", name, p.Name())
+		}
+		if !Known(name) {
+			t.Fatalf("Known(%q) = false", name)
+		}
+	}
+	if _, err := New("nope", 1); err == nil {
+		t.Fatal("New(nope) succeeded")
+	}
+	if Known("nope") {
+		t.Fatal("Known(nope) = true")
+	}
+}
+
+func TestBlindPassthrough(t *testing.T) {
+	env := &scriptEnv{peers: []PeerRef{7, 3}}
+	var p Policy = Blind{}
+	d, ok := p.Choose(0, env)
+	if !ok || d.Peer != 7 || d.HasHint || d.WantInventory {
+		t.Fatalf("Choose = %+v, %v; want bare peer 7", d, ok)
+	}
+	// Feedback and inventories must not change the next decision.
+	p.Feedback(Feedback{Peer: 7, Seg: seg(1, 1), Useful: true, Deficit: 4})
+	p.ObserveInventory(0, 7, []InventoryEntry{{Seg: seg(1, 1), Blocks: 3}})
+	d, ok = p.Choose(1, env)
+	if !ok || d.Peer != 3 || d.HasHint || d.WantInventory {
+		t.Fatalf("Choose after feedback = %+v, %v; want bare peer 3", d, ok)
+	}
+	if env.calls != 2 {
+		t.Fatalf("Blind made %d env draws, want 2", env.calls)
+	}
+	// No eligible peer propagates as ok=false.
+	if _, ok := p.Choose(2, env); ok {
+		t.Fatal("Choose with exhausted env succeeded")
+	}
+}
+
+func TestRankGreedyMaxDeficit(t *testing.T) {
+	p := NewRankGreedy()
+	env := &scriptEnv{peers: []PeerRef{1, 1, 1, 1}}
+
+	// No knowledge yet: blind decision.
+	d, ok := p.Choose(0, env)
+	if !ok || d.HasHint {
+		t.Fatalf("empty policy Choose = %+v, %v; want unhinted", d, ok)
+	}
+
+	p.Feedback(Feedback{Peer: 1, Seg: seg(1, 1), Useful: true, Deficit: 2})
+	p.Feedback(Feedback{Peer: 1, Seg: seg(2, 5), Useful: true, Deficit: 6})
+	p.Feedback(Feedback{Peer: 1, Seg: seg(3, 9), Useful: true, Deficit: 4})
+	if p.Known() != 3 {
+		t.Fatalf("Known = %d, want 3", p.Known())
+	}
+
+	d, ok = p.Choose(1, env)
+	if !ok || !d.HasHint || d.Hint != seg(2, 5) {
+		t.Fatalf("Choose = %+v, %v; want hint on max-deficit 2/5", d, ok)
+	}
+	if d.WantInventory {
+		t.Fatal("RankGreedy requested an inventory")
+	}
+
+	// Deficit updates reorder the hint.
+	p.Feedback(Feedback{Peer: 1, Seg: seg(2, 5), Useful: true, Deficit: 1})
+	if d, _ := p.Choose(2, env); d.Hint != seg(3, 9) {
+		t.Fatalf("hint after update = %v, want 3/9", d.Hint)
+	}
+
+	// Delivered segments are dropped and never hinted again.
+	p.Feedback(Feedback{Peer: 1, Seg: seg(3, 9), Useful: true, Done: true})
+	p.Feedback(Feedback{Peer: 1, Seg: seg(2, 5), Deficit: 0})
+	if p.Known() != 1 {
+		t.Fatalf("Known after delivery = %d, want 1", p.Known())
+	}
+	if d, _ := p.Choose(3, env); d.Hint != seg(1, 1) {
+		t.Fatalf("hint after deliveries = %v, want 1/1", d.Hint)
+	}
+}
+
+func TestRankGreedyTieBreaksDeterministic(t *testing.T) {
+	feed := func(p *RankGreedy) {
+		p.Feedback(Feedback{Seg: seg(1, 1), Useful: true, Deficit: 3})
+		p.Feedback(Feedback{Seg: seg(2, 2), Useful: true, Deficit: 3})
+		p.Feedback(Feedback{Seg: seg(3, 3), Useful: true, Deficit: 3})
+	}
+	a, b := NewRankGreedy(), NewRankGreedy()
+	feed(a)
+	feed(b)
+	da, _ := a.Choose(0, &scriptEnv{peers: []PeerRef{1}})
+	db, _ := b.Choose(0, &scriptEnv{peers: []PeerRef{1}})
+	if da.Hint != db.Hint {
+		t.Fatalf("tie broke differently: %v vs %v", da.Hint, db.Hint)
+	}
+	if da.Hint != seg(1, 1) {
+		t.Fatalf("tie = %v, want earliest-learned 1/1", da.Hint)
+	}
+}
+
+func TestRankGreedyEmptyFeedbackIgnored(t *testing.T) {
+	p := NewRankGreedy()
+	p.Feedback(Feedback{Peer: 1, Empty: true})
+	if p.Known() != 0 {
+		t.Fatalf("Known = %d after empty feedback", p.Known())
+	}
+}
+
+func TestRarestFirstBootstrap(t *testing.T) {
+	p := NewRarestFirst(RarestConfig{Seed: 1})
+	env := &scriptEnv{peers: []PeerRef{9}}
+	d, ok := p.Choose(0, env)
+	if !ok || d.Peer != 9 || d.HasHint {
+		t.Fatalf("bootstrap Choose = %+v, %v; want blind peer 9", d, ok)
+	}
+	if !d.WantInventory {
+		t.Fatal("bootstrap pull did not request an inventory")
+	}
+	if _, ok := p.Choose(1, env); ok {
+		t.Fatal("Choose with exhausted env succeeded")
+	}
+}
+
+func TestRarestFirstPicksRarestFromHolder(t *testing.T) {
+	p := NewRarestFirst(RarestConfig{Seed: 1})
+	// Segment 1/1 has two holders, 2/2 has one: 2/2 is rarest.
+	p.ObserveInventory(0, 10, []InventoryEntry{{Seg: seg(1, 1), Blocks: 2}})
+	p.ObserveInventory(0, 11, []InventoryEntry{{Seg: seg(1, 1), Blocks: 1}, {Seg: seg(2, 2), Blocks: 3}})
+	env := &scriptEnv{}
+	d, ok := p.Choose(0.1, env)
+	if !ok || !d.HasHint || d.Hint != seg(2, 2) || d.Peer != 11 {
+		t.Fatalf("Choose = %+v, %v; want hint 2/2 at peer 11", d, ok)
+	}
+	if env.calls != 0 {
+		t.Fatal("inventory-driven choice consulted the driver RNG")
+	}
+	if d.WantInventory {
+		t.Fatal("fresh digest re-requested")
+	}
+
+	// Once 2/2 is delivered the remaining candidate is 1/1, held by both.
+	p.Feedback(Feedback{Peer: 11, Time: 0.2, Seg: seg(2, 2), Useful: true, Done: true})
+	d, ok = p.Choose(0.3, env)
+	if !ok || d.Hint != seg(1, 1) {
+		t.Fatalf("Choose after delivery = %+v, %v; want hint 1/1", d, ok)
+	}
+	if d.Peer != 10 && d.Peer != 11 {
+		t.Fatalf("holder = %v, want 10 or 11", d.Peer)
+	}
+}
+
+func TestRarestFirstStalenessTriggersRefresh(t *testing.T) {
+	p := NewRarestFirst(RarestConfig{Seed: 1, RefreshInterval: 2})
+	p.ObserveInventory(0, 5, []InventoryEntry{{Seg: seg(1, 1), Blocks: 1}})
+	if d, _ := p.Choose(1, &scriptEnv{}); d.WantInventory {
+		t.Fatal("fresh digest re-requested at t=1")
+	}
+	if d, _ := p.Choose(2, &scriptEnv{}); !d.WantInventory {
+		t.Fatal("stale digest not refreshed at t=2")
+	}
+}
+
+func TestRarestFirstEmptyReplyClearsPeer(t *testing.T) {
+	p := NewRarestFirst(RarestConfig{Seed: 1})
+	p.ObserveInventory(0, 5, []InventoryEntry{{Seg: seg(1, 1), Blocks: 1}})
+	if p.KnownPeers() != 1 {
+		t.Fatalf("KnownPeers = %d, want 1", p.KnownPeers())
+	}
+	p.Feedback(Feedback{Peer: 5, Time: 1, Empty: true})
+	if p.KnownPeers() != 0 {
+		t.Fatalf("KnownPeers after empty = %d, want 0", p.KnownPeers())
+	}
+	// With no holders left the policy is back to the blind fallback.
+	d, ok := p.Choose(2, &scriptEnv{peers: []PeerRef{5}})
+	if !ok || d.HasHint || !d.WantInventory {
+		t.Fatalf("Choose after clear = %+v, %v; want blind refreshing pull", d, ok)
+	}
+}
+
+func TestRarestFirstDeliveredExcludedFromDigests(t *testing.T) {
+	p := NewRarestFirst(RarestConfig{Seed: 1})
+	p.Feedback(Feedback{Peer: 5, Seg: seg(1, 1), Useful: true, Done: true})
+	p.ObserveInventory(0, 5, []InventoryEntry{{Seg: seg(1, 1), Blocks: 4}})
+	if _, ok := p.rarest(); ok {
+		t.Fatal("delivered segment surfaced as a candidate")
+	}
+}
+
+func TestRarestFirstDeliveredRingBounded(t *testing.T) {
+	p := NewRarestFirst(RarestConfig{Seed: 1, DeliveredCap: 4})
+	for i := uint64(0); i < 16; i++ {
+		p.Feedback(Feedback{Seg: seg(1, i), Done: true})
+	}
+	if len(p.delivered) != 4 {
+		t.Fatalf("delivered set = %d entries, want cap 4", len(p.delivered))
+	}
+	// Newest entries survive, oldest are forgotten.
+	if !p.delivered[seg(1, 15)] || p.delivered[seg(1, 0)] {
+		t.Fatal("ring evicted the wrong end")
+	}
+}
+
+func TestRarestFirstExpiresOldDigests(t *testing.T) {
+	p := NewRarestFirst(RarestConfig{Seed: 1, RefreshInterval: 1, ExpireFactor: 2})
+	p.ObserveInventory(0, 5, []InventoryEntry{{Seg: seg(1, 1), Blocks: 1}})
+	if d, ok := p.Choose(1.9, &scriptEnv{}); !ok || !d.HasHint {
+		t.Fatalf("Choose before expiry = %+v, %v; want hinted", d, ok)
+	}
+	// Past RefreshInterval×ExpireFactor the digest is discarded and the
+	// policy is back to the blind bootstrap.
+	d, ok := p.Choose(2.0, &scriptEnv{peers: []PeerRef{9}})
+	if !ok || d.HasHint || !d.WantInventory {
+		t.Fatalf("Choose after expiry = %+v, %v; want blind refreshing pull", d, ok)
+	}
+	if p.KnownPeers() != 0 {
+		t.Fatalf("KnownPeers = %d after expiry, want 0", p.KnownPeers())
+	}
+}
+
+func TestRarestFirstLearnsFromReplies(t *testing.T) {
+	p := NewRarestFirst(RarestConfig{Seed: 1})
+	p.ObserveInventory(0, 5, []InventoryEntry{{Seg: seg(1, 1), Blocks: 1}})
+
+	// The hint was 1/1 but the reply served 2/2: the peer no longer holds
+	// 1/1 and provably holds 2/2.
+	d, ok := p.Choose(0.1, &scriptEnv{})
+	if !ok || d.Hint != seg(1, 1) || d.Peer != 5 {
+		t.Fatalf("Choose = %+v, %v; want hint 1/1 at peer 5", d, ok)
+	}
+	p.Feedback(Feedback{Peer: 5, Time: 0.2, Seg: seg(2, 2), Useful: true, Deficit: 3})
+	if p.holders[seg(1, 1)] != 0 {
+		t.Fatalf("refuted digest entry still has %d holders", p.holders[seg(1, 1)])
+	}
+	if p.holders[seg(2, 2)] != 1 {
+		t.Fatalf("served segment not learned (holders=%d)", p.holders[seg(2, 2)])
+	}
+	if d, ok := p.Choose(0.3, &scriptEnv{}); !ok || d.Hint != seg(2, 2) {
+		t.Fatalf("Choose after learning = %+v, %v; want hint 2/2", d, ok)
+	}
+}
+
+func TestRarestFirstUselessReplyExhaustsHolding(t *testing.T) {
+	p := NewRarestFirst(RarestConfig{Seed: 1})
+	p.ObserveInventory(0, 5, []InventoryEntry{{Seg: seg(1, 1), Blocks: 2}})
+	d, ok := p.Choose(0.1, &scriptEnv{})
+	if !ok || d.Hint != seg(1, 1) {
+		t.Fatalf("Choose = %+v, %v; want hint 1/1", d, ok)
+	}
+	// The peer served the hinted segment but the block was not useful and
+	// the segment is not done: a low-degree holder whose recoded blocks
+	// stopped being innovative. The digest line must go, or the policy
+	// would hammer this peer for the rest of the digest's lifetime.
+	p.Feedback(Feedback{Peer: 5, Time: 0.2, Seg: seg(1, 1), Deficit: 2})
+	if p.holders[seg(1, 1)] != 0 {
+		t.Fatalf("exhausted holding still has %d holders", p.holders[seg(1, 1)])
+	}
+	d, ok = p.Choose(0.3, &scriptEnv{peers: []PeerRef{9}})
+	if !ok || d.HasHint {
+		t.Fatalf("Choose after exhaustion = %+v, %v; want blind fallback", d, ok)
+	}
+}
+
+func TestRarestFirstDigestReplacement(t *testing.T) {
+	p := NewRarestFirst(RarestConfig{Seed: 1})
+	p.ObserveInventory(0, 5, []InventoryEntry{{Seg: seg(1, 1), Blocks: 1}})
+	p.ObserveInventory(1, 5, []InventoryEntry{{Seg: seg(2, 2), Blocks: 1}})
+	if p.holders[seg(1, 1)] != 0 {
+		t.Fatalf("stale holder count %d for replaced digest", p.holders[seg(1, 1)])
+	}
+	d, ok := p.Choose(1.5, &scriptEnv{})
+	if !ok || d.Hint != seg(2, 2) {
+		t.Fatalf("Choose = %+v, %v; want hint 2/2 from replacement digest", d, ok)
+	}
+}

@@ -1,0 +1,95 @@
+package pullsched
+
+import "p2pcollect/internal/rlnc"
+
+// RankGreedy hints the known undelivered segment with the largest remaining
+// collection deficit and drops segments the moment feedback reports them
+// complete, so no pull is ever aimed at a delivered segment again. The peer
+// choice stays the blind uniform draw: the policy learns which *segments*
+// exist purely from the blocks earlier pulls returned, so a hint can miss
+// (the sampled peer may not hold the hinted segment, in which case the peer
+// falls back to a random buffered one and the reply keeps the exploration
+// going).
+//
+// The deficit ordering is the greedy rule of the coded-coupon scheduling
+// literature (arXiv:1002.1406): pulls aimed at the generation farthest from
+// completion are the least likely to be redundant.
+type RankGreedy struct {
+	pos  map[rlnc.SegmentID]int
+	segs []rankEntry
+}
+
+type rankEntry struct {
+	seg     rlnc.SegmentID
+	deficit int
+}
+
+var _ Policy = (*RankGreedy)(nil)
+
+// NewRankGreedy returns an empty policy; it acts blindly until feedback
+// populates its deficit table.
+func NewRankGreedy() *RankGreedy {
+	return &RankGreedy{pos: make(map[rlnc.SegmentID]int)}
+}
+
+// Name implements Policy.
+func (p *RankGreedy) Name() string { return NameRankGreedy }
+
+// Choose implements Policy: blind peer draw plus a max-deficit segment
+// hint. Ties break toward the segment learned earliest, so decisions are
+// deterministic given the feedback sequence.
+func (p *RankGreedy) Choose(_ float64, env Env) (Decision, bool) {
+	peer, ok := env.SamplePeer()
+	if !ok {
+		return Decision{}, false
+	}
+	d := Decision{Peer: peer}
+	best := -1
+	for i := range p.segs {
+		if best < 0 || p.segs[i].deficit > p.segs[best].deficit {
+			best = i
+		}
+	}
+	if best >= 0 {
+		d.Hint = p.segs[best].seg
+		d.HasHint = true
+	}
+	return d, true
+}
+
+// Feedback implements Policy: track the segment's remaining deficit, and
+// forget it once the collection is complete.
+func (p *RankGreedy) Feedback(f Feedback) {
+	if f.Empty {
+		return
+	}
+	if f.Done || f.Deficit <= 0 {
+		p.forget(f.Seg)
+		return
+	}
+	if i, ok := p.pos[f.Seg]; ok {
+		p.segs[i].deficit = f.Deficit
+		return
+	}
+	p.pos[f.Seg] = len(p.segs)
+	p.segs = append(p.segs, rankEntry{seg: f.Seg, deficit: f.Deficit})
+}
+
+// ObserveInventory implements Policy; RankGreedy is feedback-only.
+func (p *RankGreedy) ObserveInventory(float64, PeerRef, []InventoryEntry) {}
+
+// Known returns how many undelivered segments the policy is tracking.
+func (p *RankGreedy) Known() int { return len(p.segs) }
+
+// forget removes one segment from the deficit table in O(1).
+func (p *RankGreedy) forget(seg rlnc.SegmentID) {
+	i, ok := p.pos[seg]
+	if !ok {
+		return
+	}
+	last := len(p.segs) - 1
+	p.segs[i] = p.segs[last]
+	p.pos[p.segs[i].seg] = i
+	p.segs = p.segs[:last]
+	delete(p.pos, seg)
+}

@@ -1,0 +1,305 @@
+package pullsched
+
+import (
+	"p2pcollect/internal/randx"
+	"p2pcollect/internal/rlnc"
+)
+
+// DefaultRefreshInterval is how long (in the driver's time base) a peer's
+// inventory digest stays fresh before the next pull to that peer requests a
+// new one.
+const DefaultRefreshInterval = 1.0
+
+// defaultDeliveredCap bounds the policy's memory of completed segments.
+const defaultDeliveredCap = 1 << 16
+
+// RarestConfig parameterizes a RarestFirst policy.
+type RarestConfig struct {
+	// RefreshInterval is the inventory staleness threshold in the driver's
+	// time units. Zero selects DefaultRefreshInterval.
+	RefreshInterval float64
+	// ExpireFactor times RefreshInterval is the age at which a digest is
+	// discarded outright: past it the digest's claims are more likely wrong
+	// than right (buffered blocks decay continuously), and keeping phantom
+	// holders around makes the policy chase segments nobody still has. Zero
+	// selects 2.
+	ExpireFactor float64
+	// DeliveredCap bounds how many completed segment IDs the policy
+	// remembers (oldest forgotten first; a forgotten segment would at worst
+	// be hinted once more and dropped again on feedback). Zero selects a
+	// 65536-entry default.
+	DeliveredCap int
+	// Seed drives the holder tie-break RNG.
+	Seed int64
+}
+
+// RarestFirst schedules pulls from per-peer inventory digests: it asks for
+// the undelivered segment with the fewest known holders, from a peer known
+// to hold it — the classic rarest-first rule, aimed at the tail of the
+// coupon collector where blind pulls are mostly redundant. Digests are
+// piggybacked on pull replies on request (Decision.WantInventory), so the
+// policy costs one extra reply message per refresh and nothing when idle.
+// With no usable inventory it degrades to the blind choice while
+// requesting digests, so it bootstraps itself from any state.
+type RarestFirst struct {
+	cfg RarestConfig
+	rng *randx.Rand
+
+	peers     map[PeerRef]*peerInventory
+	peerOrder []PeerRef
+
+	segs    []rlnc.SegmentID       // known segments, insertion-ordered
+	segPos  map[rlnc.SegmentID]int // position in segs
+	holders map[rlnc.SegmentID]int // known holder count
+
+	delivered     map[rlnc.SegmentID]bool
+	deliveredRing []rlnc.SegmentID
+	ringHead      int
+	ringSize      int
+
+	// lastHint remembers the most recent hinted segment per peer so the
+	// reply can confirm or refute the digest entry it was aimed at.
+	lastHint map[PeerRef]rlnc.SegmentID
+
+	scratch []PeerRef // holder candidates, reused across Choose calls
+}
+
+type peerInventory struct {
+	at   float64
+	segs map[rlnc.SegmentID]int // seg -> block count
+}
+
+var _ Policy = (*RarestFirst)(nil)
+
+// NewRarestFirst returns an empty policy; it pulls blindly (requesting
+// digests) until inventories arrive.
+func NewRarestFirst(cfg RarestConfig) *RarestFirst {
+	if cfg.RefreshInterval <= 0 {
+		cfg.RefreshInterval = DefaultRefreshInterval
+	}
+	if cfg.ExpireFactor <= 0 {
+		cfg.ExpireFactor = 2
+	}
+	if cfg.DeliveredCap <= 0 {
+		cfg.DeliveredCap = defaultDeliveredCap
+	}
+	return &RarestFirst{
+		cfg:       cfg,
+		rng:       randx.New(cfg.Seed),
+		peers:     make(map[PeerRef]*peerInventory),
+		segPos:    make(map[rlnc.SegmentID]int),
+		holders:   make(map[rlnc.SegmentID]int),
+		delivered: make(map[rlnc.SegmentID]bool),
+		lastHint:  make(map[PeerRef]rlnc.SegmentID),
+	}
+}
+
+// Name implements Policy.
+func (p *RarestFirst) Name() string { return NameRarestFirst }
+
+// Choose implements Policy: hint the rarest known undelivered segment at a
+// uniformly random known holder; fall back to the blind draw (plus a digest
+// request) when no inventory is usable. Rarity ties break toward the
+// segment learned earliest, holder ties by the policy's own seeded RNG, so
+// decisions are deterministic given the feedback sequence and seed.
+func (p *RarestFirst) Choose(now float64, env Env) (Decision, bool) {
+	p.expire(now)
+	seg, ok := p.rarest()
+	if !ok {
+		peer, ok := env.SamplePeer()
+		if !ok {
+			return Decision{}, false
+		}
+		return Decision{Peer: peer, WantInventory: p.stale(now, peer)}, true
+	}
+	p.scratch = p.scratch[:0]
+	for _, peer := range p.peerOrder {
+		if p.peers[peer].segs[seg] > 0 {
+			p.scratch = append(p.scratch, peer)
+		}
+	}
+	peer := p.scratch[p.rng.Intn(len(p.scratch))]
+	p.lastHint[peer] = seg
+	return Decision{
+		Peer:          peer,
+		Hint:          seg,
+		HasHint:       true,
+		WantInventory: p.stale(now, peer),
+	}, true
+}
+
+// expire discards digests old enough that their claims are stale noise;
+// without this, a peer that is never re-pulled would contribute phantom
+// holder counts forever and the policy would chase segments nobody has.
+func (p *RarestFirst) expire(now float64) {
+	deadline := p.cfg.RefreshInterval * p.cfg.ExpireFactor
+	for i := 0; i < len(p.peerOrder); {
+		peer := p.peerOrder[i]
+		if now-p.peers[peer].at >= deadline {
+			p.clearPeer(peer) // removes peerOrder[i]; re-check the slot
+			continue
+		}
+		i++
+	}
+}
+
+// rarest returns the undelivered segment with the fewest known holders.
+// Delivered or holderless segments encountered during the scan are pruned,
+// keeping the scan proportional to the live set.
+func (p *RarestFirst) rarest() (rlnc.SegmentID, bool) {
+	best := -1
+	for i := 0; i < len(p.segs); i++ {
+		seg := p.segs[i]
+		if p.delivered[seg] || p.holders[seg] <= 0 {
+			p.dropSeg(seg)
+			i--
+			continue
+		}
+		if best < 0 || p.holders[seg] < p.holders[p.segs[best]] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return rlnc.SegmentID{}, false
+	}
+	return p.segs[best], true
+}
+
+// stale reports whether the peer's digest is missing or past the refresh
+// interval.
+func (p *RarestFirst) stale(now float64, peer PeerRef) bool {
+	inv := p.peers[peer]
+	return inv == nil || now-inv.at >= p.cfg.RefreshInterval
+}
+
+// Feedback implements Policy: completed segments stop being candidates, an
+// empty reply invalidates everything the digest claimed the peer held, and
+// every served block adjusts the digest in place. A useful reply proves
+// the peer holds the served segment right now; a reply that does not match
+// the hint it was aimed at disproves that digest entry; and a useless,
+// not-done reply exhausts it — the peer still buffers the segment but its
+// holding spans nothing the collection is missing (live servers see this
+// when a low-degree holder's recoded blocks stop being innovative), so
+// pulling it again from this peer cannot help until a fresh digest says
+// otherwise.
+func (p *RarestFirst) Feedback(f Feedback) {
+	if f.Empty {
+		p.clearPeer(f.Peer)
+		delete(p.lastHint, f.Peer)
+		return
+	}
+	if hint, ok := p.lastHint[f.Peer]; ok {
+		delete(p.lastHint, f.Peer)
+		if hint != f.Seg {
+			p.removeHolding(f.Peer, hint)
+		}
+	}
+	if f.Useful || f.Done {
+		p.confirmHolding(f.Peer, f.Seg)
+	} else {
+		p.removeHolding(f.Peer, f.Seg)
+	}
+	if f.Done {
+		p.markDelivered(f.Seg)
+	}
+}
+
+// confirmHolding records that a pull reply proved the peer holds seg.
+func (p *RarestFirst) confirmHolding(peer PeerRef, seg rlnc.SegmentID) {
+	inv := p.peers[peer]
+	if inv == nil || p.delivered[seg] || inv.segs[seg] > 0 {
+		return
+	}
+	inv.segs[seg] = 1
+	p.holders[seg]++
+	if _, known := p.segPos[seg]; !known {
+		p.segPos[seg] = len(p.segs)
+		p.segs = append(p.segs, seg)
+	}
+}
+
+// removeHolding drops one digest line a reply disproved.
+func (p *RarestFirst) removeHolding(peer PeerRef, seg rlnc.SegmentID) {
+	inv := p.peers[peer]
+	if inv == nil || inv.segs[seg] == 0 {
+		return
+	}
+	delete(inv.segs, seg)
+	p.holders[seg]--
+}
+
+// ObserveInventory implements Policy: replace the peer's digest.
+func (p *RarestFirst) ObserveInventory(now float64, peer PeerRef, inv []InventoryEntry) {
+	p.clearPeer(peer)
+	if len(inv) == 0 {
+		return
+	}
+	pi := &peerInventory{at: now, segs: make(map[rlnc.SegmentID]int, len(inv))}
+	for _, e := range inv {
+		if e.Blocks <= 0 || p.delivered[e.Seg] || pi.segs[e.Seg] > 0 {
+			continue
+		}
+		pi.segs[e.Seg] = e.Blocks
+		p.holders[e.Seg]++
+		if _, known := p.segPos[e.Seg]; !known {
+			p.segPos[e.Seg] = len(p.segs)
+			p.segs = append(p.segs, e.Seg)
+		}
+	}
+	p.peers[peer] = pi
+	p.peerOrder = append(p.peerOrder, peer)
+}
+
+// KnownPeers returns how many peers currently have a live digest.
+func (p *RarestFirst) KnownPeers() int { return len(p.peers) }
+
+// clearPeer drops a peer's digest and its holder contributions.
+func (p *RarestFirst) clearPeer(peer PeerRef) {
+	inv := p.peers[peer]
+	if inv == nil {
+		return
+	}
+	for seg := range inv.segs {
+		p.holders[seg]--
+	}
+	delete(p.peers, peer)
+	for i, id := range p.peerOrder {
+		if id == peer {
+			p.peerOrder = append(p.peerOrder[:i], p.peerOrder[i+1:]...)
+			break
+		}
+	}
+}
+
+// markDelivered records a completed segment in the bounded ring; candidate
+// structures are pruned lazily by rarest.
+func (p *RarestFirst) markDelivered(seg rlnc.SegmentID) {
+	if p.delivered[seg] {
+		return
+	}
+	if p.deliveredRing == nil {
+		p.deliveredRing = make([]rlnc.SegmentID, p.cfg.DeliveredCap)
+	}
+	if p.ringSize == len(p.deliveredRing) {
+		delete(p.delivered, p.deliveredRing[p.ringHead])
+		p.ringHead = (p.ringHead + 1) % len(p.deliveredRing)
+		p.ringSize--
+	}
+	p.deliveredRing[(p.ringHead+p.ringSize)%len(p.deliveredRing)] = seg
+	p.ringSize++
+	p.delivered[seg] = true
+}
+
+// dropSeg removes one segment from the candidate structures in O(1).
+func (p *RarestFirst) dropSeg(seg rlnc.SegmentID) {
+	i, ok := p.segPos[seg]
+	if !ok {
+		return
+	}
+	last := len(p.segs) - 1
+	p.segs[i] = p.segs[last]
+	p.segPos[p.segs[i]] = i
+	p.segs = p.segs[:last]
+	delete(p.segPos, seg)
+	delete(p.holders, seg)
+}

@@ -184,6 +184,9 @@ func (d *Decoder) SegmentID() SegmentID { return d.seg }
 // Rank returns the number of linearly independent blocks received.
 func (d *Decoder) Rank() int { return len(d.coeffs) }
 
+// Size returns s, the number of independent blocks needed to decode.
+func (d *Decoder) Size() int { return d.size }
+
 // Complete reports whether the segment is decodable.
 func (d *Decoder) Complete() bool { return len(d.coeffs) == d.size }
 

@@ -14,6 +14,8 @@ package sim
 import (
 	"errors"
 	"fmt"
+
+	"p2pcollect/internal/pullsched"
 )
 
 // Default protocol parameters used when a Config field is zero.
@@ -80,6 +82,12 @@ type Config struct {
 	// and upper-bounds the benefit of purging delivered data; the A2
 	// ablation quantifies it.
 	ServerFeedback bool
+	// PullPolicy selects the server pull-scheduling policy by
+	// internal/pullsched registry name: "blind" (the paper's §2 behavior,
+	// and the default when empty), "rankgreedy", or "rarest". Blind adds no
+	// RNG draws of its own, so a seeded run with PullPolicy empty or
+	// "blind" reproduces the pre-scheduling simulator byte for byte.
+	PullPolicy string
 	// InjectUntil stops segment injection at the given simulated time; zero
 	// means injection runs for the whole simulation. Used by the
 	// post-session drain experiment (Theorem 4).
@@ -143,6 +151,8 @@ func (c Config) validate() error {
 		return fmt.Errorf("sim: Warmup %v >= Horizon %v", c.Warmup, c.Horizon)
 	case c.MeanFieldSampling && c.Degree != 0:
 		return errors.New("sim: MeanFieldSampling requires a full-mesh overlay (Degree == 0)")
+	case !pullsched.Known(c.PullPolicy):
+		return fmt.Errorf("sim: unknown PullPolicy %q (have %v)", c.PullPolicy, pullsched.Names())
 	}
 	return nil
 }

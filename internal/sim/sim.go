@@ -7,10 +7,16 @@ import (
 	"p2pcollect/internal/logdata"
 	"p2pcollect/internal/metrics"
 	"p2pcollect/internal/peercore"
+	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 	"p2pcollect/internal/topology"
 )
+
+// policySeedSalt decorrelates policy-internal RNG streams (RarestFirst's
+// holder tie-breaks) from the simulation's own seed without touching s.rng,
+// so scheduling never perturbs the seeded protocol randomness.
+const policySeedSalt = 0x5ca1ab1e
 
 // targetRetries bounds the rejection sampling used to pick a gossip target
 // in full-mesh mode.
@@ -36,6 +42,11 @@ type Simulator struct {
 	pcfg     peercore.PeerConfig
 	pool     *peercore.Collector   // collaborating state + union rank
 	perSrv   []*peercore.Collector // per-server collections (IndependentServers)
+	// policies holds the pull schedulers: one shared instance when the
+	// servers collaborate (they share one collection state, so they share
+	// one view of the remaining work), one per server in IndependentServers
+	// mode.
+	policies []pullsched.Policy
 
 	nonEmpty   *indexSet
 	nextPeerID uint64
@@ -161,6 +172,18 @@ func New(cfg Config) (*Simulator, error) {
 				RankOnly:    true,
 			}, s.counters)
 		}
+	}
+	npol := 1
+	if cfg.IndependentServers {
+		npol = cfg.NumServers
+	}
+	s.policies = make([]pullsched.Policy, npol)
+	for j := range s.policies {
+		pol, err := pullsched.New(cfg.PullPolicy, cfg.Seed+policySeedSalt+int64(j))
+		if err != nil {
+			return nil, err
+		}
+		s.policies[j] = pol
 	}
 	if cfg.Degree > 0 {
 		g, err := topology.RandomKNeighbor(cfg.N, cfg.Degree, s.rng)
@@ -574,25 +597,92 @@ func (s *Simulator) pullTick(server int, rate float64) {
 	s.clock.After(s.rng.Exp(rate), func() { s.pullTick(server, rate) })
 }
 
-func (s *Simulator) pull(server int) {
-	var (
-		pi    int
-		segID rlnc.SegmentID
-		ok    bool
-	)
-	if s.cfg.MeanFieldSampling {
-		pi, segID, ok = s.sampleEdge()
-	} else {
-		pi, ok = s.nonEmpty.sample(s.rng)
-		if ok {
-			segID, _ = s.peers[pi].core.SampleSegment()
+// pullEnv is the per-pull driver view handed to the policy. SamplePeer is
+// the blind baseline draw using the simulator's own RNG — in mean-field
+// mode the degree-proportional edge sample, otherwise a uniform non-empty
+// peer — so a policy that only calls SamplePeer (Blind) reproduces the
+// pre-scheduling RNG sequence exactly. The edge sample's segment is
+// captured so the no-hint path keeps the mean-field segment choice.
+type pullEnv struct {
+	s        *Simulator
+	edgePeer int
+	edgeSeg  rlnc.SegmentID
+	edgeOK   bool
+}
+
+func (e *pullEnv) SamplePeer() (pullsched.PeerRef, bool) {
+	if e.s.cfg.MeanFieldSampling {
+		pi, segID, ok := e.s.sampleEdge()
+		if !ok {
+			return 0, false
 		}
+		e.edgePeer, e.edgeSeg, e.edgeOK = pi, segID, true
+		return pullsched.PeerRef(pi), true
 	}
+	pi, ok := e.s.nonEmpty.sample(e.s.rng)
+	return pullsched.PeerRef(pi), ok
+}
+
+// serverPolicy returns the scheduler for one server's pulls.
+func (s *Simulator) serverPolicy(server int) pullsched.Policy {
+	if len(s.policies) == 1 {
+		return s.policies[0]
+	}
+	return s.policies[server]
+}
+
+// peerInventory builds the compact digest a pulled peer piggybacks on its
+// reply when the pull requested one.
+func (s *Simulator) peerInventory(pi int) []pullsched.InventoryEntry {
+	core := s.peers[pi].core
+	n := core.NumSegments()
+	if n == 0 {
+		return nil
+	}
+	inv := make([]pullsched.InventoryEntry, n)
+	for i := 0; i < n; i++ {
+		segID := core.SegmentAt(i)
+		inv[i] = pullsched.InventoryEntry{Seg: segID, Blocks: core.BlocksOf(segID)}
+	}
+	return inv
+}
+
+func (s *Simulator) pull(server int) {
+	pol := s.serverPolicy(server)
+	now := s.clock.Now()
+	env := &pullEnv{s: s}
+	dec, ok := pol.Choose(now, env)
 	if !ok {
+		return // no pull-eligible peer in the network
+	}
+	pi := int(dec.Peer)
+	// Inventory-driven policies target peers directly, so the target may
+	// have died or emptied since the digest was taken; the pull comes back
+	// empty, which is itself feedback. SamplePeer only returns live
+	// non-empty peers, so Blind never takes this branch.
+	if pi < 0 || pi >= len(s.peers) || s.peers[pi].dead || s.peers[pi].core.Occupancy() == 0 {
+		s.counters.Count(peercore.EvEmptyReply, 1)
+		pol.Feedback(pullsched.Feedback{Peer: dec.Peer, Time: now, Empty: true})
+		if dec.WantInventory {
+			pol.ObserveInventory(now, dec.Peer, nil)
+		}
 		return
 	}
-	cb := s.peers[pi].core.Recode(segID)
-	now := s.clock.Now()
+	core := s.peers[pi].core
+	var segID rlnc.SegmentID
+	switch {
+	case env.edgeOK && pi == env.edgePeer && !dec.HasHint:
+		// Mean-field mode without a hint keeps the edge sample's
+		// degree-proportional segment choice.
+		segID = env.edgeSeg
+	case dec.HasHint && core.Holds(dec.Hint):
+		segID = dec.Hint
+	default:
+		// No hint (the literal §2 protocol), or the peer no longer holds
+		// the hinted segment and falls back to a random buffered one.
+		segID, _ = core.SampleSegment()
+	}
+	cb := core.Recode(segID)
 	meta := s.segs[segID]
 
 	// The paper's accounting: every pull on a segment whose collection
@@ -607,9 +697,23 @@ func (s *Simulator) pull(server int) {
 			panic(fmt.Sprintf("sim: pooled decode: %v", err))
 		}
 	}
-	out, _, err := col.Receive(now, cb)
+	out, rcol, err := col.Receive(now, cb)
 	if err != nil {
 		panic(fmt.Sprintf("sim: server decode: %v", err))
+	}
+	// Close the scheduling loop in the simulator's state-based accounting:
+	// a pull is useful while the collection state is below s, and a
+	// delivered collection needs no further pulls.
+	pol.Feedback(pullsched.Feedback{
+		Peer:    dec.Peer,
+		Time:    now,
+		Seg:     segID,
+		Useful:  out.Useful,
+		Done:    rcol.Delivered(),
+		Deficit: rcol.Deficit(),
+	})
+	if dec.WantInventory {
+		pol.ObserveInventory(now, dec.Peer, s.peerInventory(pi))
 	}
 
 	if out.Useful && now >= s.cfg.Warmup {

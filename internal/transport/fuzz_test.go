@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/rlnc"
 )
 
@@ -15,7 +16,21 @@ func FuzzDecodeMessage(f *testing.F) {
 	// Seed with every valid message shape.
 	seeds := []*Message{
 		{Type: MsgPullRequest, From: 1, To: 2},
+		{Type: MsgPullRequest, From: 1, To: 2, HasHint: true, Seg: rlnc.SegmentID{Origin: 7, Seq: 3}},
+		{Type: MsgPullRequest, From: 1, To: 2, WantInventory: true},
+		{
+			Type: MsgPullRequest, From: 1, To: 2,
+			HasHint: true, Seg: rlnc.SegmentID{Origin: 7, Seq: 4}, WantInventory: true,
+		},
 		{Type: MsgEmpty, From: 2, To: 1},
+		{Type: MsgInventory, From: 2, To: 1},
+		{
+			Type: MsgInventory, From: 2, To: 1,
+			Inventory: []pullsched.InventoryEntry{
+				{Seg: rlnc.SegmentID{Origin: 7, Seq: 3}, Blocks: 4},
+				{Seg: rlnc.SegmentID{Origin: 8, Seq: 1}, Blocks: 65535},
+			},
+		},
 		{Type: MsgSegmentComplete, From: 3, To: 4, Seg: rlnc.SegmentID{Origin: 3, Seq: 9}},
 		{
 			Type: MsgBlock, From: 5, To: 6,
@@ -54,6 +69,17 @@ func FuzzDecodeMessage(f *testing.F) {
 		}
 		if again.Type != m.Type || again.From != m.From || again.To != m.To || again.Seg != m.Seg {
 			t.Fatalf("round trip changed header: %+v vs %+v", again, m)
+		}
+		if again.HasHint != m.HasHint || again.WantInventory != m.WantInventory {
+			t.Fatalf("round trip changed pull flags: %+v vs %+v", again, m)
+		}
+		if len(again.Inventory) != len(m.Inventory) {
+			t.Fatalf("round trip changed inventory length: %d vs %d", len(again.Inventory), len(m.Inventory))
+		}
+		for i := range m.Inventory {
+			if again.Inventory[i] != m.Inventory[i] {
+				t.Fatalf("round trip changed inventory entry %d: %+v vs %+v", i, again.Inventory[i], m.Inventory[i])
+			}
 		}
 		if (m.Block == nil) != (again.Block == nil) {
 			t.Fatal("round trip changed block presence")

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/rlnc"
 )
 
@@ -27,10 +28,14 @@ const (
 	// blocks of a segment and needs no more of it.
 	MsgSegmentComplete
 	// MsgPullRequest asks a peer for one re-encoded block of a random
-	// buffered segment.
+	// buffered segment; it may carry an optional segment hint and an
+	// inventory-digest request (see Message.HasHint / WantInventory).
 	MsgPullRequest
 	// MsgEmpty answers a pull when the peer's buffer is empty.
 	MsgEmpty
+	// MsgInventory answers a pull's WantInventory with a compact digest of
+	// the sender's buffered segments.
+	MsgInventory
 )
 
 // String names the message type for logs.
@@ -44,6 +49,8 @@ func (t MsgType) String() string {
 		return "pull-request"
 	case MsgEmpty:
 		return "empty"
+	case MsgInventory:
+		return "inventory"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -54,10 +61,21 @@ type Message struct {
 	Type MsgType
 	From NodeID
 	To   NodeID
-	// Seg is set for MsgSegmentComplete.
+	// Seg is set for MsgSegmentComplete, and for MsgPullRequest when
+	// HasHint is true (the segment the puller wants).
 	Seg rlnc.SegmentID
 	// Block is set for MsgBlock.
 	Block *rlnc.CodedBlock
+	// HasHint marks a MsgPullRequest carrying a segment hint in Seg. A
+	// hintless request encodes to the legacy empty payload, so blind pulls
+	// are byte-identical with older nodes.
+	HasHint bool
+	// WantInventory asks the pulled peer to follow its reply with a
+	// MsgInventory digest.
+	WantInventory bool
+	// Inventory is set for MsgInventory: the sender's buffered segments
+	// and per-segment block counts.
+	Inventory []pullsched.InventoryEntry
 }
 
 // ErrClosed is returned by Send after the transport was closed.

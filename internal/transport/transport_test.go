@@ -3,10 +3,12 @@ package transport
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"testing"
 	"testing/quick"
 	"time"
 
+	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/rlnc"
 )
 
@@ -37,7 +39,18 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		}},
 		{"segment complete", &Message{Type: MsgSegmentComplete, From: 5, To: 6, Seg: rlnc.SegmentID{Origin: 5, Seq: 10}}},
 		{"pull request", &Message{Type: MsgPullRequest, From: 100, To: 4}},
+		{"hinted pull", &Message{
+			Type: MsgPullRequest, From: 100, To: 4,
+			HasHint: true, Seg: rlnc.SegmentID{Origin: 2, Seq: 7}, WantInventory: true,
+		}},
 		{"empty", &Message{Type: MsgEmpty, From: 4, To: 100}},
+		{"inventory", &Message{
+			Type: MsgInventory, From: 4, To: 100,
+			Inventory: []pullsched.InventoryEntry{
+				{Seg: rlnc.SegmentID{Origin: 2, Seq: 7}, Blocks: 3},
+				{Seg: rlnc.SegmentID{Origin: 9, Seq: 0}, Blocks: 1},
+			},
+		}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -54,6 +67,15 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			}
 			if tt.msg.Type == MsgSegmentComplete && got.Seg != tt.msg.Seg {
 				t.Errorf("Seg = %v, want %v", got.Seg, tt.msg.Seg)
+			}
+			if got.HasHint != tt.msg.HasHint || got.WantInventory != tt.msg.WantInventory {
+				t.Errorf("pull flags mismatch: %+v vs %+v", got, tt.msg)
+			}
+			if tt.msg.HasHint && got.Seg != tt.msg.Seg {
+				t.Errorf("hint Seg = %v, want %v", got.Seg, tt.msg.Seg)
+			}
+			if !reflect.DeepEqual(got.Inventory, tt.msg.Inventory) {
+				t.Errorf("Inventory = %v, want %v", got.Inventory, tt.msg.Inventory)
 			}
 			if tt.msg.Block != nil {
 				if got.Block == nil {
@@ -77,6 +99,11 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 		{"short", []byte{1, 2}},
 		{"unknown type", append([]byte{99}, make([]byte, 16)...)},
 		{"truncated block", append([]byte{byte(MsgBlock)}, make([]byte, 16)...)},
+		{"pull zero flags", append(append([]byte{byte(MsgPullRequest)}, make([]byte, 16)...), 0x00)},
+		{"pull unknown flags", append(append([]byte{byte(MsgPullRequest)}, make([]byte, 16)...), 0x04)},
+		{"pull truncated hint", append(append([]byte{byte(MsgPullRequest)}, make([]byte, 16)...), 0x01, 1, 2)},
+		{"inventory no count", append([]byte{byte(MsgInventory)}, make([]byte, 16)...)},
+		{"inventory short entries", append(append([]byte{byte(MsgInventory)}, make([]byte, 16)...), 0, 0, 0, 2, 1, 2, 3)},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
@@ -84,6 +111,35 @@ func TestDecodeRejectsGarbage(t *testing.T) {
 				t.Error("garbage decoded without error")
 			}
 		})
+	}
+}
+
+// TestBlindPullEncodingUnchanged pins the wire-compatibility contract: a
+// pull without hint or inventory request must encode to the pre-scheduling
+// empty payload, byte for byte.
+func TestBlindPullEncodingUnchanged(t *testing.T) {
+	frame, err := EncodeMessage(&Message{Type: MsgPullRequest, From: 100, To: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{
+		0, 0, 0, 17, // body length: bare header
+		byte(MsgPullRequest),
+		0, 0, 0, 0, 0, 0, 0, 100, // from
+		0, 0, 0, 0, 0, 0, 0, 4, // to
+	}
+	if !bytes.Equal(frame, want) {
+		t.Fatalf("blind pull frame = %v, want legacy %v", frame, want)
+	}
+}
+
+func TestEncodeRejectsOversizeInventoryCount(t *testing.T) {
+	m := &Message{
+		Type: MsgInventory, From: 1, To: 2,
+		Inventory: []pullsched.InventoryEntry{{Seg: rlnc.SegmentID{Origin: 1, Seq: 1}, Blocks: 1 << 16}},
+	}
+	if _, err := EncodeMessage(m); err == nil {
+		t.Fatal("inventory entry beyond u16 encoded without error")
 	}
 }
 

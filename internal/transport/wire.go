@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/rlnc"
 )
 
@@ -19,8 +20,15 @@ import (
 // MsgBlock payload:           u64 origin | u64 seq | u32 coeffLen | coeffs |
 //	                           u32 payloadLen | payload
 // MsgSegmentComplete payload: u64 origin | u64 seq
-// MsgPullRequest payload:     (empty)
+// MsgPullRequest payload:     (empty)  — legacy blind pull, or
+//	                           u8 flags [| u64 origin | u64 seq]
+//	                           flags bit0 = segment hint present (origin+seq
+//	                           follow), bit1 = want inventory digest. A zero
+//	                           or unknown flags byte is a decode error, so
+//	                           the empty payload stays the only encoding of
+//	                           a blind pull.
 // MsgEmpty payload:           (empty)
+// MsgInventory payload:       u32 n | n × (u64 origin | u64 seq | u16 blocks)
 
 // maxFrameSize bounds a frame body, both on the read side (guarding
 // against corrupt length prefixes) and on the encode side (a frame the
@@ -29,6 +37,15 @@ const maxFrameSize = 16 << 20
 
 // headerLen is the fixed body prefix: type + from + to.
 const headerLen = 1 + 8 + 8
+
+// MsgPullRequest flag bits.
+const (
+	pullFlagHint          = 1 << 0
+	pullFlagWantInventory = 1 << 1
+)
+
+// inventoryEntryLen is the wire size of one MsgInventory digest line.
+const inventoryEntryLen = 8 + 8 + 2
 
 // EncodeMessage serializes m into a self-contained frame.
 func EncodeMessage(m *Message) ([]byte, error) {
@@ -48,8 +65,35 @@ func EncodeMessage(m *Message) ([]byte, error) {
 	case MsgSegmentComplete:
 		body = appendUint64(body, m.Seg.Origin)
 		body = appendUint64(body, m.Seg.Seq)
-	case MsgPullRequest, MsgEmpty:
+	case MsgPullRequest:
+		// A hintless, digest-less pull keeps the legacy empty payload so
+		// blind pulls are byte-identical with pre-scheduling nodes.
+		var flags byte
+		if m.HasHint {
+			flags |= pullFlagHint
+		}
+		if m.WantInventory {
+			flags |= pullFlagWantInventory
+		}
+		if flags != 0 {
+			body = append(body, flags)
+			if m.HasHint {
+				body = appendUint64(body, m.Seg.Origin)
+				body = appendUint64(body, m.Seg.Seq)
+			}
+		}
+	case MsgEmpty:
 		// No payload.
+	case MsgInventory:
+		body = appendUint32(body, uint32(len(m.Inventory)))
+		for _, e := range m.Inventory {
+			if e.Blocks < 0 || e.Blocks > 0xFFFF {
+				return nil, fmt.Errorf("transport: inventory block count %d outside u16", e.Blocks)
+			}
+			body = appendUint64(body, e.Seg.Origin)
+			body = appendUint64(body, e.Seg.Seq)
+			body = appendUint16(body, uint16(e.Blocks))
+		}
 	default:
 		return nil, fmt.Errorf("transport: cannot encode %v", m.Type)
 	}
@@ -115,9 +159,56 @@ func DecodeMessage(body []byte) (*Message, error) {
 			return nil, fmt.Errorf("transport: %d trailing bytes", len(rest))
 		}
 		m.Seg = rlnc.SegmentID{Origin: origin, Seq: seq}
-	case MsgPullRequest, MsgEmpty:
+	case MsgPullRequest:
+		if len(rest) == 0 {
+			break // legacy blind pull
+		}
+		flags := rest[0]
+		rest = rest[1:]
+		if flags == 0 || flags&^(pullFlagHint|pullFlagWantInventory) != 0 {
+			return nil, fmt.Errorf("transport: bad pull flags 0x%02x", flags)
+		}
+		if flags&pullFlagHint != 0 {
+			var origin, seq uint64
+			var err error
+			if origin, rest, err = readUint64(rest); err != nil {
+				return nil, err
+			}
+			if seq, rest, err = readUint64(rest); err != nil {
+				return nil, err
+			}
+			m.Seg = rlnc.SegmentID{Origin: origin, Seq: seq}
+			m.HasHint = true
+		}
+		m.WantInventory = flags&pullFlagWantInventory != 0
 		if len(rest) != 0 {
 			return nil, fmt.Errorf("transport: %d trailing bytes", len(rest))
+		}
+	case MsgEmpty:
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("transport: %d trailing bytes", len(rest))
+		}
+	case MsgInventory:
+		if len(rest) < 4 {
+			return nil, fmt.Errorf("transport: truncated inventory count")
+		}
+		n := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint64(len(rest)) != uint64(n)*inventoryEntryLen {
+			return nil, fmt.Errorf("transport: inventory of %d entries in %d bytes", n, len(rest))
+		}
+		if n > 0 {
+			m.Inventory = make([]pullsched.InventoryEntry, n)
+			for i := range m.Inventory {
+				m.Inventory[i] = pullsched.InventoryEntry{
+					Seg: rlnc.SegmentID{
+						Origin: binary.BigEndian.Uint64(rest),
+						Seq:    binary.BigEndian.Uint64(rest[8:]),
+					},
+					Blocks: int(binary.BigEndian.Uint16(rest[16:])),
+				}
+				rest = rest[inventoryEntryLen:]
+			}
 		}
 	default:
 		return nil, fmt.Errorf("transport: cannot decode %v", m.Type)
@@ -156,6 +247,16 @@ func appendUint64(b []byte, v uint64) []byte {
 	var buf [8]byte
 	binary.BigEndian.PutUint64(buf[:], v)
 	return append(b, buf[:]...)
+}
+
+func appendUint32(b []byte, v uint32) []byte {
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], v)
+	return append(b, buf[:]...)
+}
+
+func appendUint16(b []byte, v uint16) []byte {
+	return append(b, byte(v>>8), byte(v))
 }
 
 func appendBytes(b, data []byte) []byte {

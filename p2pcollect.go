@@ -27,6 +27,7 @@ import (
 	"p2pcollect/internal/analysis"
 	"p2pcollect/internal/live"
 	"p2pcollect/internal/ode"
+	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 	"p2pcollect/internal/sim"
@@ -123,6 +124,9 @@ type (
 	FaultyTransport = transport.Faulty
 	// SegmentID identifies a coded segment network-wide.
 	SegmentID = rlnc.SegmentID
+	// PullPolicy schedules a live server's pulls: which peer to probe and,
+	// optionally, which segment to ask for. See NewPullPolicy.
+	PullPolicy = pullsched.Policy
 )
 
 // StartCluster boots an in-process live deployment: peers on a random
@@ -150,6 +154,17 @@ func NewTCPTransport(id NodeID, addr string, book map[NodeID]string) (*transport
 func NewTCPTransportOpts(id NodeID, addr string, book map[NodeID]string, opts TCPOptions) (*transport.TCPTransport, error) {
 	return transport.ListenTCPOpts(id, addr, book, opts)
 }
+
+// PullPolicies lists the built-in pull-scheduling policy names: "blind"
+// (the paper-faithful baseline), "rankgreedy", and "rarest". The same
+// names select a policy in SimConfig.PullPolicy and
+// ClusterConfig.PullPolicy.
+func PullPolicies() []string { return pullsched.Names() }
+
+// NewPullPolicy builds a named pull-scheduling policy for a live server
+// ("" selects blind). Policies are stateful: give each server its own
+// instance, seeded for reproducible tie-breaking.
+func NewPullPolicy(name string, seed int64) (PullPolicy, error) { return pullsched.New(name, seed) }
 
 // NewFaultyTransport wraps a transport with seeded fault injection —
 // random loss, a latency distribution, and a partition schedule — for
