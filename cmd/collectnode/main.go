@@ -60,6 +60,7 @@ func run(args []string) error {
 		seed      = fs.Int64("seed", time.Now().UnixNano(), "random seed")
 		outPath   = fs.String("out", "", "server mode: append recovered records to this CSV file")
 		statsAddr = fs.String("stats-addr", "", "serve live JSON stats over HTTP on this address (e.g. 127.0.0.1:8080)")
+		debugAddr = fs.String("debug-addr", "", "serve the observability endpoint (Prometheus /metrics, JSON /debug/snapshot, pprof) on this address (e.g. 127.0.0.1:8090)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,6 +101,7 @@ func run(args []string) error {
 			BufferCap:   *bufferCap,
 			Neighbors:   ids,
 			Seed:        *seed,
+			DebugAddr:   *debugAddr,
 		})
 		if err != nil {
 			return err
@@ -111,6 +113,9 @@ func run(args []string) error {
 		defer stopStats()
 		if err := node.Start(); err != nil {
 			return err
+		}
+		if url := node.DebugURL(); url != "" {
+			fmt.Printf("debug endpoint at %s/metrics\n", url)
 		}
 		select {
 		case <-sig:
@@ -126,9 +131,10 @@ func run(args []string) error {
 			return fmt.Errorf("-peers: %w", err)
 		}
 		srv, err := p2pcollect.NewServer(tr, p2pcollect.ServerConfig{
-			PullRate: *pullRate,
-			Peers:    ids,
-			Seed:     *seed,
+			PullRate:  *pullRate,
+			Peers:     ids,
+			Seed:      *seed,
+			DebugAddr: *debugAddr,
 		})
 		if err != nil {
 			return err
@@ -164,6 +170,9 @@ func run(args []string) error {
 		defer stopStats()
 		if err := srv.Start(); err != nil {
 			return err
+		}
+		if url := srv.DebugURL(); url != "" {
+			fmt.Printf("debug endpoint at %s/metrics\n", url)
 		}
 		select {
 		case <-sig:

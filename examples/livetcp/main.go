@@ -30,13 +30,15 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", time.Second, "TCP dial deadline")
 	policy := flag.String("policy", "blind",
 		fmt.Sprintf("server pull-scheduling policy %v", p2pcollect.PullPolicies()))
+	debugAddr := flag.String("debug-addr", "",
+		"serve Prometheus /metrics, JSON /debug/snapshot, and pprof for every endpoint on this address (e.g. 127.0.0.1:8090)")
 	flag.Parse()
-	if err := run(*peers, *duration, *loss, *dialTimeout, *writeTimeout, *policy); err != nil {
+	if err := run(*peers, *duration, *loss, *dialTimeout, *writeTimeout, *policy, *debugAddr); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run(peers int, duration time.Duration, loss float64, dialTimeout, writeTimeout time.Duration, policyName string) error {
+func run(peers int, duration time.Duration, loss float64, dialTimeout, writeTimeout time.Duration, policyName, debugAddr string) error {
 	if peers < 2 {
 		return fmt.Errorf("need at least 2 peers, got %d", peers)
 	}
@@ -73,6 +75,13 @@ func run(peers int, duration time.Duration, loss float64, dialTimeout, writeTime
 		}
 	}
 
+	// With -debug-addr, every endpoint shares one lifecycle tracer and one
+	// debug HTTP server (endpoints distinguished by label).
+	var tracer *p2pcollect.RingTracer
+	if debugAddr != "" {
+		tracer = p2pcollect.NewRingTracer(1 << 12)
+	}
+
 	// Peers: full mesh among themselves, modest per-second rates.
 	var nodes []*p2pcollect.Node
 	for i := 0; i < peers; i++ {
@@ -84,6 +93,9 @@ func run(peers int, duration time.Duration, loss float64, dialTimeout, writeTime
 			Gamma:       0.5,
 			BufferCap:   256,
 			Seed:        int64(i + 1),
+		}
+		if tracer != nil {
+			cfg.Tracer = tracer
 		}
 		for j := 1; j <= peers; j++ {
 			if p2pcollect.NodeID(j) != tcps[i].LocalID() {
@@ -105,12 +117,16 @@ func run(peers int, duration time.Duration, loss float64, dialTimeout, writeTime
 	if err != nil {
 		return err
 	}
-	server, err := p2pcollect.NewServer(endpoints[peers], p2pcollect.ServerConfig{
+	srvCfg := p2pcollect.ServerConfig{
 		PullRate: 80,
 		Peers:    peerIDs,
 		Seed:     99,
 		Policy:   policy,
-	})
+	}
+	if tracer != nil {
+		srvCfg.Tracer = tracer
+	}
+	server, err := p2pcollect.NewServer(endpoints[peers], srvCfg)
 	if err != nil {
 		return err
 	}
@@ -145,6 +161,20 @@ func run(peers int, duration time.Duration, loss float64, dialTimeout, writeTime
 	if err := server.Start(); err != nil {
 		return err
 	}
+	if debugAddr != "" {
+		regs := make([]*p2pcollect.ObsRegistry, 0, peers+1)
+		for _, n := range nodes {
+			regs = append(regs, n.Registry())
+		}
+		regs = append(regs, server.Registry())
+		dbg, err := p2pcollect.ServeDebug(debugAddr, regs...)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("debug endpoint: %s/metrics | %s/debug/snapshot | %s/debug/pprof/\n",
+			dbg.URL(), dbg.URL(), dbg.URL())
+	}
 	time.Sleep(duration)
 
 	stats := server.Stats()
@@ -166,6 +196,25 @@ func run(peers int, duration time.Duration, loss float64, dialTimeout, writeTime
 	if loss > 0 {
 		fmt.Printf("  fault injection dropped %d outgoing server messages\n",
 			stats.Protocol["transportFaultLossDrops"])
+	}
+	if tracer != nil {
+		for _, h := range server.Registry().Snapshot().Histograms {
+			if h.Name == "pullRTT" && h.Count > 0 {
+				fmt.Printf("  pull RTT: p50=%.1fms p99=%.1fms over %d closed pulls\n",
+					h.P50*1000, h.P99*1000, h.Count)
+			}
+		}
+		// Reconstruct where one decoded segment's time went.
+		for _, ev := range tracer.Tail(1 << 12) {
+			if ev.Kind != p2pcollect.TraceDecoded {
+				continue
+			}
+			fmt.Printf("  lifecycle of segment %v:\n", ev.Seg)
+			for _, ph := range tracer.Query(ev.Seg).Phases() {
+				fmt.Printf("    %-18s %6.3fs\n", ph.Name, ph.Dur)
+			}
+			break
+		}
 	}
 	origins := make([]uint64, 0, len(recovered))
 	for origin := range recovered {

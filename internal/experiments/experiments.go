@@ -785,6 +785,7 @@ func All(opt Options, w io.Writer) error {
 		{"topology", TopologyTable},
 		{"codingcost", CodingCostTable},
 		{"pullsched", PullPolicyTable},
+		{"obs", ObsTable},
 	}
 	for _, g := range gens {
 		tbl, err := g.fn(opt)
@@ -833,6 +834,8 @@ func ByName(name string) (func(Options) (*metrics.Table, error), bool) {
 		return CodingCostTable, true
 	case "pullsched", "a6":
 		return PullPolicyTable, true
+	case "obs", "a7":
+		return ObsTable, true
 	default:
 		return nil, false
 	}

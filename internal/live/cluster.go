@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 
+	"p2pcollect/internal/obs"
 	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
@@ -37,6 +38,16 @@ type ClusterConfig struct {
 	// testing. The callback sees the endpoint's LocalID and may return the
 	// transport unchanged.
 	WrapTransport func(transport.Transport) transport.Transport
+	// DebugAddr, when non-empty, serves one debug endpoint for the whole
+	// cluster: every node's and server's registry on a shared port,
+	// distinguished by the endpoint="..." label. Use ":0" for an ephemeral
+	// port; the bound address is on Cluster.Debug.
+	DebugAddr string
+	// TraceCap, when positive, attaches one shared segment-lifecycle ring
+	// tracer of that capacity to every endpoint (available as
+	// Cluster.Tracer). Zero disables tracing unless DebugAddr is set, which
+	// implies a default-capacity tracer so /debug/snapshot has a trace tail.
+	TraceCap int
 	// Seed makes the deployment reproducible.
 	Seed int64
 }
@@ -46,6 +57,28 @@ type Cluster struct {
 	Network *transport.Network
 	Nodes   []*Node
 	Servers []*Server
+	// Tracer is the shared segment-lifecycle ring tracer, nil unless
+	// TraceCap or DebugAddr was set.
+	Tracer *obs.RingTracer
+	// Debug is the cluster-wide debug server, nil unless DebugAddr was set.
+	Debug *obs.DebugServer
+}
+
+// defaultClusterTraceCap sizes the shared ring tracer when DebugAddr implies
+// one but TraceCap is zero.
+const defaultClusterTraceCap = 1 << 12
+
+// Registries returns every endpoint's observability registry, nodes first
+// then servers — the set the cluster debug server exposes.
+func (c *Cluster) Registries() []*obs.Registry {
+	regs := make([]*obs.Registry, 0, len(c.Nodes)+len(c.Servers))
+	for _, n := range c.Nodes {
+		regs = append(regs, n.Registry())
+	}
+	for _, s := range c.Servers {
+		regs = append(regs, s.Registry())
+	}
+	return regs
 }
 
 // serverIDBase offsets server IDs above any peer ID.
@@ -66,6 +99,13 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, err
 	}
 	c := &Cluster{Network: transport.NewNetwork()}
+	// The shared tracer draws no randomness, so attaching it cannot perturb
+	// the cluster's seeded RNG sequence.
+	if cfg.TraceCap > 0 {
+		c.Tracer = obs.NewRingTracer(cfg.TraceCap)
+	} else if cfg.DebugAddr != "" {
+		c.Tracer = obs.NewRingTracer(defaultClusterTraceCap)
+	}
 	fail := func(err error) (*Cluster, error) {
 		c.Stop()
 		return nil, err
@@ -83,6 +123,9 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			nodeCfg.Neighbors = append(nodeCfg.Neighbors, transport.NodeID(nb+1))
 		}
 		nodeCfg.Seed = rng.Int63()
+		if c.Tracer != nil {
+			nodeCfg.Tracer = c.Tracer
+		}
 		node, err := NewNode(join(transport.NodeID(i+1)), nodeCfg)
 		if err != nil {
 			return fail(err)
@@ -106,13 +149,18 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		if err != nil {
 			return fail(err)
 		}
-		srv, err := NewServer(join(transport.NodeID(serverIDBase+j)), ServerConfig{
-			PullRate:    cfg.PullRate,
-			Peers:       peerIDs,
-			SegmentSize: cfg.Node.SegmentSize,
-			Seed:        srvSeed,
-			Policy:      policy,
-		})
+		srvCfg := ServerConfig{
+			PullRate:       cfg.PullRate,
+			Peers:          peerIDs,
+			SegmentSize:    cfg.Node.SegmentSize,
+			Seed:           srvSeed,
+			Policy:         policy,
+			SampleInterval: cfg.Node.SampleInterval,
+		}
+		if c.Tracer != nil {
+			srvCfg.Tracer = c.Tracer
+		}
+		srv, err := NewServer(join(transport.NodeID(serverIDBase+j)), srvCfg)
 		if err != nil {
 			return fail(err)
 		}
@@ -129,11 +177,22 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			return fail(err)
 		}
 	}
+	if cfg.DebugAddr != "" {
+		debug, err := obs.Serve(cfg.DebugAddr, obs.NewGroup(c.Registries()...))
+		if err != nil {
+			return fail(err)
+		}
+		c.Debug = debug
+	}
 	return c, nil
 }
 
 // Stop shuts every server and node down.
 func (c *Cluster) Stop() {
+	if c.Debug != nil {
+		c.Debug.Close() //nolint:errcheck // shutdown path
+		c.Debug = nil
+	}
 	for _, s := range c.Servers {
 		s.Stop()
 	}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"p2pcollect/internal/logdata"
+	"p2pcollect/internal/obs"
 	"p2pcollect/internal/peercore"
 	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
@@ -50,6 +51,16 @@ type NodeConfig struct {
 	Neighbors []transport.NodeID
 	// Seed makes the node's randomness reproducible.
 	Seed int64
+	// Tracer receives segment-lifecycle milestones (injections, gossip
+	// hops) on the node's clock. Nil disables tracing.
+	Tracer obs.Tracer
+	// SampleInterval spaces the observability samples (buffer occupancy,
+	// outbox depth) in seconds. Zero selects 1s.
+	SampleInterval float64
+	// DebugAddr, when non-empty, serves this node's debug endpoint
+	// (Prometheus /metrics, JSON /debug/snapshot, pprof) on the given
+	// address for the node's lifetime. Use ":0" for an ephemeral port.
+	DebugAddr string
 }
 
 func (c NodeConfig) validate() error {
@@ -112,6 +123,15 @@ type Node struct {
 	gen     *logdata.Generator
 	started time.Time
 
+	// Observability. The registry is always built (scraping it is free when
+	// nobody asks); the debug server only exists when DebugAddr is set.
+	reg         *obs.Registry
+	tracer      obs.Tracer
+	obsBuffered *obs.Gauge
+	obsOutbox   *obs.Gauge
+	obsOcc      *obs.TimeSeries
+	debug       *obs.DebugServer
+
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	startMu sync.Mutex
@@ -130,7 +150,7 @@ func NewNode(tr transport.Transport, cfg NodeConfig) (*Node, error) {
 		BufferCap:   cfg.BufferCap,
 		Gamma:       cfg.Gamma,
 	}, rng, counters)
-	return &Node{
+	n := &Node{
 		cfg:      cfg,
 		tr:       tr,
 		rng:      rng,
@@ -138,9 +158,29 @@ func NewNode(tr transport.Transport, cfg NodeConfig) (*Node, error) {
 		counters: counters,
 		fullAt:   make(map[rlnc.SegmentID]map[transport.NodeID]float64),
 		gen:      logdata.NewGenerator(uint64(tr.LocalID()), rng.Fork()),
+		tracer:   cfg.Tracer,
 		stop:     make(chan struct{}),
-	}, nil
+	}
+	if n.tracer == nil {
+		n.tracer = obs.NopTracer{}
+	}
+	n.reg = obs.NewRegistry(endpointLabel(tr.LocalID()))
+	n.reg.RegisterCounters(counters.Range)
+	if cr, ok := tr.(transport.CounterRanger); ok {
+		n.reg.RegisterCounters(cr.RangeCounters)
+	}
+	n.obsBuffered = n.reg.Gauge("bufferedBlocks")
+	n.obsOutbox = n.reg.Gauge("outboxDepth")
+	n.obsOcc = n.reg.TimeSeries("bufferOccupancy", obsSeriesCap)
+	if rt, ok := n.tracer.(*obs.RingTracer); ok {
+		n.reg.SetTracer(rt)
+	}
+	return n, nil
 }
+
+// Registry exposes the node's observability registry, for scraping it
+// directly or folding it into an obs.Group served on one shared port.
+func (n *Node) Registry() *obs.Registry { return n.reg }
 
 // ID returns the node's network identity.
 func (n *Node) ID() transport.NodeID { return n.tr.LocalID() }
@@ -152,17 +192,34 @@ func (n *Node) Start() error {
 	if n.running {
 		return errors.New("live: node already running")
 	}
+	if n.cfg.DebugAddr != "" {
+		debug, err := obs.Serve(n.cfg.DebugAddr, n.reg)
+		if err != nil {
+			return err
+		}
+		n.debug = debug
+	}
 	n.running = true
 	n.started = time.Now()
-	n.wg.Add(3)
+	n.wg.Add(4)
 	go n.recvLoop()
 	go n.reapLoop()
 	go n.gossipLoop()
+	go n.obsLoop()
 	if n.cfg.Lambda > 0 {
 		n.wg.Add(1)
 		go n.injectLoop()
 	}
 	return nil
+}
+
+// DebugURL returns the node's debug endpoint base URL, or "" when no
+// DebugAddr was configured.
+func (n *Node) DebugURL() string {
+	if n.debug == nil {
+		return ""
+	}
+	return n.debug.URL()
 }
 
 // Stop shuts the node down: closes the transport and waits for every loop
@@ -177,6 +234,10 @@ func (n *Node) Stop() {
 	close(n.stop)
 	n.tr.Close()
 	n.wg.Wait()
+	if n.debug != nil {
+		n.debug.Close() //nolint:errcheck // shutdown path
+		n.debug = nil
+	}
 }
 
 // Stats returns a consistent snapshot of the node's counters. Protocol
@@ -251,7 +312,13 @@ func (n *Node) injectLoop() {
 func (n *Node) inject() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	n.core.Inject(n.now(), n.makePayloads)
+	now := n.now()
+	if segID, _, ok := n.core.Inject(now, n.makePayloads); ok {
+		n.tracer.Trace(obs.TraceEvent{
+			Seg: segID, Kind: obs.TraceInject, T: now,
+			Actor: uint64(n.tr.LocalID()), N: n.cfg.SegmentSize,
+		})
+	}
 }
 
 // makePayloads builds the s payload blocks for a new segment from the
@@ -413,8 +480,15 @@ func (n *Node) receiveBlock(m *transport.Message) {
 	}
 	n.mu.Lock()
 	n.counters.Count(peercore.EvBlockReceived, 1)
-	res := n.core.Store(n.now(), m.Block)
+	now := n.now()
+	res := n.core.Store(now, m.Block)
 	justFull := res.Stored && n.core.HoldingFull(m.Block.Seg)
+	if res.Stored {
+		n.tracer.Trace(obs.TraceEvent{
+			Seg: m.Block.Seg, Kind: obs.TraceGossipHop, T: now,
+			Actor: uint64(n.tr.LocalID()), N: n.core.BlocksOf(m.Block.Seg),
+		})
+	}
 	n.mu.Unlock()
 	if justFull {
 		notice := &transport.Message{Type: transport.MsgSegmentComplete, Seg: m.Block.Seg}

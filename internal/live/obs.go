@@ -1,0 +1,95 @@
+package live
+
+import (
+	"fmt"
+	"time"
+
+	"p2pcollect/internal/transport"
+)
+
+// obsSeriesCap bounds each endpoint's retained time-series samples. At the
+// default 1s sample interval this is over an hour of history.
+const obsSeriesCap = 4096
+
+// defaultSampleInterval spaces observability samples when the config leaves
+// SampleInterval zero.
+const defaultSampleInterval = 1.0
+
+// endpointLabel names an endpoint's registry for exposition. Server IDs sit
+// above serverIDBase so cluster servers read "server-0", "server-1", ...
+// instead of "node-4294967296".
+func endpointLabel(id transport.NodeID) string {
+	if id >= serverIDBase {
+		return fmt.Sprintf("server-%d", id-serverIDBase)
+	}
+	return fmt.Sprintf("node-%d", id)
+}
+
+// sampleEvery resolves a configured sample interval to a ticker period.
+func sampleEvery(interval float64) time.Duration {
+	if interval <= 0 {
+		interval = defaultSampleInterval
+	}
+	return time.Duration(interval * float64(time.Second))
+}
+
+// obsLoop samples the node's instantaneous state (buffer occupancy, transport
+// outbox depth) on a wall-clock ticker — the live counterpart of the
+// simulator's sim-clock sampler.
+func (n *Node) obsLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(sampleEvery(n.cfg.SampleInterval))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case <-ticker.C:
+			n.sampleObs()
+		}
+	}
+}
+
+func (n *Node) sampleObs() {
+	n.mu.Lock()
+	now := n.now()
+	occ := n.core.Occupancy()
+	n.mu.Unlock()
+	n.obsBuffered.Set(float64(occ))
+	n.obsOcc.Observe(now, float64(occ))
+	if dr, ok := n.tr.(transport.DepthReporter); ok {
+		n.obsOutbox.Set(float64(dr.OutboxDepth()))
+	}
+}
+
+// obsLoop samples the server's instantaneous state (open decoders, pulls
+// awaiting a reply) on a wall-clock ticker.
+func (s *Server) obsLoop() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(sampleEvery(s.cfg.SampleInterval))
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.sampleObs()
+		}
+	}
+}
+
+func (s *Server) sampleObs() {
+	s.mu.Lock()
+	now := s.now()
+	open := 0
+	if s.collector != nil {
+		open = s.collector.OpenCount()
+	}
+	pending := len(s.pending)
+	s.mu.Unlock()
+	s.obsPending.Set(float64(pending))
+	s.obsOpenSeries.Observe(now, float64(open))
+	if dr, ok := s.tr.(transport.DepthReporter); ok {
+		s.obsOutbox.Set(float64(dr.OutboxDepth()))
+	}
+}

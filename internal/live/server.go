@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"p2pcollect/internal/metrics"
+	"p2pcollect/internal/obs"
 	"p2pcollect/internal/peercore"
 	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
@@ -15,6 +17,24 @@ import (
 
 // defaultFinishedCap bounds the server's memory of completed segments.
 const defaultFinishedCap = 1 << 16
+
+// Pull-feedback outcome counters. Every policy.Feedback call is classified
+// into exactly one bucket, so the exposition layer shows how the server's
+// pull budget is spent: useful (rank growth), redundant (finished segment or
+// non-innovative block), or empty (peer had nothing).
+const (
+	fbUseful = iota
+	fbRedundant
+	fbEmpty
+
+	numFeedbackCounters
+)
+
+var feedbackCounterNames = [numFeedbackCounters]string{
+	fbUseful:    "pullschedFeedbackUseful",
+	fbRedundant: "pullschedFeedbackRedundant",
+	fbEmpty:     "pullschedFeedbackEmpty",
+}
 
 // ServerConfig parameterizes one live logging server.
 type ServerConfig struct {
@@ -39,6 +59,16 @@ type ServerConfig struct {
 	// stateful — give each server its own instance. The server serializes
 	// all policy calls under its mutex.
 	Policy pullsched.Policy
+	// Tracer receives segment-lifecycle milestones (rank growth, delivery,
+	// decode) on the server's clock. Nil disables tracing.
+	Tracer obs.Tracer
+	// SampleInterval spaces the observability samples (open decoders,
+	// outstanding pulls, outbox depth) in seconds. Zero selects 1s.
+	SampleInterval float64
+	// DebugAddr, when non-empty, serves this server's debug endpoint
+	// (Prometheus /metrics, JSON /debug/snapshot, pprof) on the given
+	// address for the server's lifetime. Use ":0" for an ephemeral port.
+	DebugAddr string
 }
 
 func (c ServerConfig) validate() error {
@@ -97,6 +127,21 @@ type Server struct {
 	redundant    int64
 	started      time.Time
 
+	// Observability. pending maps each peer to the send time of its latest
+	// outstanding pull (the next reply from that peer closes it); firstSeen
+	// maps each in-progress segment to when its first block arrived.
+	reg           *obs.Registry
+	tracer        obs.Tracer
+	fb            *metrics.CounterSet
+	pending       map[transport.NodeID]float64
+	firstSeen     map[rlnc.SegmentID]float64
+	obsRTT        *obs.Histogram
+	obsCollect    *obs.Histogram
+	obsPending    *obs.Gauge
+	obsOutbox     *obs.Gauge
+	obsOpenSeries *obs.TimeSeries
+	debug         *obs.DebugServer
+
 	stop    chan struct{}
 	wg      sync.WaitGroup
 	startMu sync.Mutex
@@ -116,19 +161,45 @@ func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
 		policy = pullsched.Blind{}
 	}
 	s := &Server{
-		cfg:      cfg,
-		tr:       tr,
-		rng:      randx.New(cfg.Seed),
-		policy:   policy,
-		counters: peercore.NewCounters(),
-		finished: make(map[rlnc.SegmentID]bool),
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		tr:        tr,
+		rng:       randx.New(cfg.Seed),
+		policy:    policy,
+		counters:  peercore.NewCounters(),
+		finished:  make(map[rlnc.SegmentID]bool),
+		tracer:    cfg.Tracer,
+		fb:        metrics.NewCounterSet(feedbackCounterNames[:]),
+		pending:   make(map[transport.NodeID]float64),
+		firstSeen: make(map[rlnc.SegmentID]float64),
+		stop:      make(chan struct{}),
+	}
+	if s.tracer == nil {
+		s.tracer = obs.NopTracer{}
 	}
 	if cfg.SegmentSize > 0 {
 		s.collector = peercore.NewCollector(peercore.CollectorConfig{SegmentSize: cfg.SegmentSize}, s.counters)
 	}
+	s.reg = obs.NewRegistry(endpointLabel(tr.LocalID()))
+	s.reg.SetInfo("policy", policy.Name())
+	s.reg.RegisterCounters(s.counters.Range)
+	s.reg.RegisterCounters(s.fb.Range)
+	if cr, ok := tr.(transport.CounterRanger); ok {
+		s.reg.RegisterCounters(cr.RangeCounters)
+	}
+	s.obsRTT = s.reg.Histogram("pullRTT", obs.DelayBuckets())
+	s.obsCollect = s.reg.Histogram("collectionTime", obs.ExpBuckets(0.125, 2, 14))
+	s.obsPending = s.reg.Gauge("outstandingPulls")
+	s.obsOutbox = s.reg.Gauge("outboxDepth")
+	s.obsOpenSeries = s.reg.TimeSeries("openDecoders", obsSeriesCap)
+	if rt, ok := s.tracer.(*obs.RingTracer); ok {
+		s.reg.SetTracer(rt)
+	}
 	return s, nil
 }
+
+// Registry exposes the server's observability registry, for scraping it
+// directly or folding it into an obs.Group served on one shared port.
+func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ID returns the server's network identity.
 func (s *Server) ID() transport.NodeID { return s.tr.LocalID() }
@@ -140,15 +211,32 @@ func (s *Server) Start() error {
 	if s.running {
 		return errors.New("live: server already running")
 	}
+	if s.cfg.DebugAddr != "" {
+		debug, err := obs.Serve(s.cfg.DebugAddr, s.reg)
+		if err != nil {
+			return err
+		}
+		s.debug = debug
+	}
 	s.running = true
 	s.started = time.Now()
-	s.wg.Add(1)
+	s.wg.Add(2)
 	go s.recvLoop()
+	go s.obsLoop()
 	if s.cfg.PullRate > 0 {
 		s.wg.Add(1)
 		go s.pullLoop()
 	}
 	return nil
+}
+
+// DebugURL returns the server's debug endpoint base URL, or "" when no
+// DebugAddr was configured.
+func (s *Server) DebugURL() string {
+	if s.debug == nil {
+		return ""
+	}
+	return s.debug.URL()
 }
 
 // Stop shuts the server down and waits for its loops.
@@ -162,6 +250,10 @@ func (s *Server) Stop() {
 	close(s.stop)
 	s.tr.Close()
 	s.wg.Wait()
+	if s.debug != nil {
+		s.debug.Close() //nolint:errcheck // shutdown path
+		s.debug = nil
+	}
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -178,6 +270,7 @@ func (s *Server) Stats() ServerStats {
 		DecodedSegments:   c.Get(peercore.EvDecodedSegment),
 		Protocol:          mergeTransportCounters(c.Snapshot(), s.tr),
 	}
+	s.fb.Range(func(name string, v int64) { st.Protocol[name] = v })
 	if s.collector != nil {
 		st.OpenDecoders = s.collector.OpenCount()
 	}
@@ -187,6 +280,18 @@ func (s *Server) Stats() ServerStats {
 // now is the server's protocol clock: wall seconds since Start. Callers
 // hold mu.
 func (s *Server) now() float64 { return time.Since(s.started).Seconds() }
+
+// observeRTT closes the peer's outstanding pull, if any, into the RTT
+// histogram. Callers hold mu.
+func (s *Server) observeRTT(from transport.NodeID, now float64) {
+	if t0, ok := s.pending[from]; ok {
+		delete(s.pending, from)
+		s.obsRTT.Observe(now - t0)
+	}
+}
+
+// trace emits a segment-lifecycle milestone. Callers hold mu.
+func (s *Server) trace(ev obs.TraceEvent) { s.tracer.Trace(ev) }
 
 func (s *Server) pullLoop() {
 	defer s.wg.Done()
@@ -222,6 +327,12 @@ func (s *Server) pullLoop() {
 				if err := s.tr.Send(transport.NodeID(dec.Peer), msg); err == nil {
 					s.mu.Lock()
 					s.counters.Count(peercore.EvPullSent, 1)
+					// One outstanding pull per peer: a newer pull to the same
+					// peer replaces the pending send time, so the RTT histogram
+					// measures the latest request→first reply span (an
+					// approximation that under-reports queueing at a slow
+					// peer, which the outstandingPulls gauge shows instead).
+					s.pending[transport.NodeID(dec.Peer)] = s.now()
 					s.mu.Unlock()
 				}
 			}
@@ -256,10 +367,13 @@ func (s *Server) recvLoop() {
 				s.receiveBlock(m)
 			case transport.MsgEmpty:
 				s.mu.Lock()
+				now := s.now()
 				s.counters.Count(peercore.EvEmptyReply, 1)
+				s.observeRTT(m.From, now)
+				s.fb.Add(fbEmpty, 1)
 				s.policy.Feedback(pullsched.Feedback{
 					Peer:  pullsched.PeerRef(m.From),
-					Time:  s.now(),
+					Time:  now,
 					Empty: true,
 				})
 				s.mu.Unlock()
@@ -286,25 +400,47 @@ func (s *Server) receiveBlock(m *transport.Message) {
 	}
 	from := pullsched.PeerRef(m.From)
 	s.mu.Lock()
+	now := s.now()
 	s.counters.Count(peercore.EvBlockReceived, 1)
+	s.observeRTT(m.From, now)
 	if s.finished[cb.Seg] {
 		s.redundant++
-		s.policy.Feedback(pullsched.Feedback{Peer: from, Time: s.now(), Seg: cb.Seg, Done: true})
+		s.fb.Add(fbRedundant, 1)
+		s.policy.Feedback(pullsched.Feedback{Peer: from, Time: now, Seg: cb.Seg, Done: true})
 		s.mu.Unlock()
 		return
 	}
 	if s.collector == nil {
 		s.collector = peercore.NewCollector(peercore.CollectorConfig{SegmentSize: cb.SegmentSize()}, s.counters)
 	}
-	out, col, err := s.collector.Receive(s.now(), cb)
+	if _, seen := s.firstSeen[cb.Seg]; !seen {
+		s.firstSeen[cb.Seg] = now
+	}
+	out, col, err := s.collector.Receive(now, cb)
 	if err != nil {
 		s.redundant++
+		s.fb.Add(fbRedundant, 1)
 		s.mu.Unlock()
 		return
 	}
+	if out.Innovative {
+		s.fb.Add(fbUseful, 1)
+		s.trace(obs.TraceEvent{
+			Seg: cb.Seg, Kind: obs.TraceServerRank, T: now,
+			Actor: uint64(s.tr.LocalID()), N: col.Rank(),
+		})
+	} else {
+		s.fb.Add(fbRedundant, 1)
+	}
+	if out.Delivered {
+		s.trace(obs.TraceEvent{
+			Seg: cb.Seg, Kind: obs.TraceDelivered, T: now,
+			Actor: uint64(s.tr.LocalID()), N: col.State(),
+		})
+	}
 	s.policy.Feedback(pullsched.Feedback{
 		Peer:    from,
-		Time:    s.now(),
+		Time:    now,
 		Seg:     cb.Seg,
 		Useful:  out.Innovative,
 		Done:    out.Decoded,
@@ -319,6 +455,14 @@ func (s *Server) receiveBlock(m *transport.Message) {
 		s.mu.Unlock()
 		return
 	}
+	if t0, ok := s.firstSeen[cb.Seg]; ok {
+		delete(s.firstSeen, cb.Seg)
+		s.obsCollect.Observe(now - t0)
+	}
+	s.trace(obs.TraceEvent{
+		Seg: cb.Seg, Kind: obs.TraceDecoded, T: now,
+		Actor: uint64(s.tr.LocalID()), N: col.Rank(),
+	})
 	blocks, decErr := col.Decode()
 	s.markFinished(cb.Seg)
 	s.collector.Forget(cb.Seg)

@@ -15,6 +15,10 @@ const (
 // seriesGlyphs mark the curves, one glyph per series in order.
 var seriesGlyphs = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&', '$', '~'}
 
+// overlapGlyph marks cells where points of two or more different series
+// land; the legend explains it only when at least one such cell exists.
+const overlapGlyph = '?'
+
 // RenderChart draws the table's series as an ASCII scatter chart with a
 // shared linear scale, followed by a legend. It complements Render for
 // terminal-only environments where figure shape matters more than exact
@@ -35,10 +39,20 @@ func (t *Table) RenderChart() string {
 	if ymax == ymin {
 		ymax = ymin + 1
 	}
+	const (
+		cellEmpty   = -1
+		cellOverlap = -2
+	)
 	grid := make([][]byte, chartHeight)
+	owner := make([][]int, chartHeight) // cellEmpty, a series index, or cellOverlap
 	for r := range grid {
 		grid[r] = bytes(' ', chartWidth)
+		owner[r] = make([]int, chartWidth)
+		for c := range owner[r] {
+			owner[r][c] = cellEmpty
+		}
 	}
+	overlap := false
 	for si, s := range t.series {
 		glyph := seriesGlyphs[si%len(seriesGlyphs)]
 		for _, p := range s.Points {
@@ -47,8 +61,17 @@ func (t *Table) RenderChart() string {
 			if col < 0 || col >= chartWidth || row < 0 || row >= chartHeight {
 				continue
 			}
-			// Later series win collisions; the legend disambiguates.
-			grid[row][col] = glyph
+			switch owner[row][col] {
+			case cellEmpty, si:
+				owner[row][col] = si
+				grid[row][col] = glyph
+			default:
+				// Two different series in one cell: render the dedicated
+				// overlap glyph instead of letting the later series win.
+				owner[row][col] = cellOverlap
+				grid[row][col] = overlapGlyph
+				overlap = true
+			}
 		}
 	}
 	topLabel := formatCell(ymax)
@@ -78,6 +101,9 @@ func (t *Table) RenderChart() string {
 		strings.Repeat(" ", labelWidth), t.XLabel, formatCell(xmin), formatCell(xmax))
 	for si, s := range t.series {
 		fmt.Fprintf(&b, "  %c %s\n", seriesGlyphs[si%len(seriesGlyphs)], s.Name)
+	}
+	if overlap {
+		fmt.Fprintf(&b, "  %c multiple series share the cell\n", overlapGlyph)
 	}
 	return b.String()
 }

@@ -34,8 +34,23 @@ func (c *CounterSet) Get(i int) int64 { return c.vals[i].Load() }
 // Snapshot returns a name→value copy of all counters.
 func (c *CounterSet) Snapshot() map[string]int64 {
 	out := make(map[string]int64, len(c.names))
-	for i, name := range c.names {
-		out[name] = c.vals[i].Load()
-	}
+	c.Range(func(name string, v int64) { out[name] = v })
 	return out
+}
+
+// Range calls f with every counter's name and current value, in
+// registration order, without allocating. Periodic samplers and metric
+// exposition paths use it instead of Snapshot so a scrape never pressures
+// the garbage collector.
+func (c *CounterSet) Range(f func(name string, v int64)) {
+	for i, name := range c.names {
+		f(name, c.vals[i].Load())
+	}
+}
+
+// SnapshotInto fills dst with every counter's current value, reusing its
+// storage. It is Snapshot without the allocation when the caller keeps a
+// map across scrapes.
+func (c *CounterSet) SnapshotInto(dst map[string]int64) {
+	c.Range(func(name string, v int64) { dst[name] = v })
 }

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket distribution estimator with atomic updates:
+// Observe is lock-free and allocation-free, so it can sit on the pull and
+// gossip hot paths, and scrapes can read while counting continues. Bucket
+// counts use the Prometheus le (less-or-equal upper bound) convention with
+// an implicit +Inf overflow bucket, so two histograms with the same bounds
+// merge exactly — across servers, or across nodes of a cluster.
+//
+// Quantiles are estimated by linear interpolation inside the bucket that
+// contains the target rank, the standard fixed-bucket estimator; choose
+// bounds (ExpBuckets, LinearBuckets) so the interesting mass does not land
+// in the overflow bucket, whose quantiles saturate at the last bound.
+type Histogram struct {
+	name   string
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	sum    atomicFloat
+}
+
+// NewHistogram builds a histogram with the given ascending bucket upper
+// bounds. It panics on an empty or unsorted bound list (a programming
+// error, like an invalid peercore config).
+func NewHistogram(name string, bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		panic("obs: histogram needs at least one bucket bound")
+	}
+	if !sort.Float64sAreSorted(bounds) {
+		panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+	}
+	return &Histogram{
+		name:   name,
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// ExpBuckets returns n exponentially spaced bounds start, start·factor,
+// start·factor², … — the usual choice for delays and RTTs.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	bounds := make([]float64, n)
+	v := start
+	for i := range bounds {
+		bounds[i] = v
+		v *= factor
+	}
+	return bounds
+}
+
+// LinearBuckets returns n bounds start, start+width, start+2·width, … —
+// for quantities with a known linear range (occupancy, queue depth).
+func LinearBuckets(start, width float64, n int) []float64 {
+	if width <= 0 || n < 1 {
+		panic("obs: LinearBuckets needs width > 0, n >= 1")
+	}
+	bounds := make([]float64, n)
+	for i := range bounds {
+		bounds[i] = start + float64(i)*width
+	}
+	return bounds
+}
+
+// DelayBuckets are the default bounds for delay-like quantities: 5 ms to
+// ~164 s (or 0.005 to ~164 simulated time units), doubling.
+func DelayBuckets() []float64 { return ExpBuckets(0.005, 2, 16) }
+
+// Name returns the histogram's metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one value. Lock-free; safe under concurrent scrapes.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.bucketOf(v)].Add(1)
+	h.sum.Add(v)
+}
+
+// bucketOf returns the index of the le bucket for v (len(bounds) for the
+// +Inf overflow bucket).
+func (h *Histogram) bucketOf(v float64) int {
+	// First bound >= v, i.e. the smallest le bucket containing v.
+	return sort.SearchFloat64s(h.bounds, v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	var total int64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// Mean returns the average observation (NaN when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return math.NaN()
+	}
+	return h.Sum() / float64(n)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by interpolating inside
+// the containing bucket. Returns NaN when the histogram is empty. Values
+// in the overflow bucket clamp to the last finite bound.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return math.NaN()
+	}
+	target := q * float64(total)
+	var cum float64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) < target {
+			cum += float64(c)
+			continue
+		}
+		if i == len(h.bounds) {
+			return h.bounds[len(h.bounds)-1] // overflow: clamp
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (target - cum) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + frac*(hi-lo)
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// Merge adds o's buckets and sum into h. The bucket bounds must be
+// identical; merging across nodes of a cluster relies on every endpoint
+// using the same layout.
+func (h *Histogram) Merge(o *Histogram) error {
+	if len(h.bounds) != len(o.bounds) {
+		return fmt.Errorf("obs: merge %q: %d buckets vs %d", h.name, len(h.bounds), len(o.bounds))
+	}
+	for i, b := range h.bounds {
+		if b != o.bounds[i] {
+			return fmt.Errorf("obs: merge %q: bound %d is %g vs %g", h.name, i, b, o.bounds[i])
+		}
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+	return nil
+}
+
+// BucketCount is one bucket of a histogram snapshot.
+type BucketCount struct {
+	// LE is the bucket's inclusive upper bound (+Inf for the overflow).
+	LE float64 `json:"le"`
+	// Count is the number of observations in this bucket (not cumulative).
+	Count int64 `json:"count"`
+}
+
+// MarshalJSON encodes the overflow bound as the string "+Inf" (encoding/json
+// rejects infinite floats).
+func (b BucketCount) MarshalJSON() ([]byte, error) {
+	le := `"+Inf"`
+	if !math.IsInf(b.LE, 1) {
+		le = strconv.FormatFloat(b.LE, 'g', -1, 64)
+	}
+	return []byte(fmt.Sprintf(`{"le":%s,"count":%d}`, le, b.Count)), nil
+}
+
+// UnmarshalJSON accepts both the numeric and the "+Inf" bound encodings.
+func (b *BucketCount) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		LE    json.RawMessage `json:"le"`
+		Count int64           `json:"count"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Count = raw.Count
+	if string(raw.LE) == `"+Inf"` {
+		b.LE = math.Inf(1)
+		return nil
+	}
+	return json.Unmarshal(raw.LE, &b.LE)
+}
+
+// HistogramSnapshot is the JSON shape of one histogram scrape.
+type HistogramSnapshot struct {
+	Name    string        `json:"name"`
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	P50     float64       `json:"p50"`
+	P90     float64       `json:"p90"`
+	P99     float64       `json:"p99"`
+	Buckets []BucketCount `json:"buckets"`
+}
+
+// Snapshot captures the histogram's state with headline percentiles. An
+// empty histogram reports zero percentiles rather than NaN so the snapshot
+// always serializes to JSON.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	snap := HistogramSnapshot{
+		Name:    h.name,
+		Sum:     h.Sum(),
+		Buckets: make([]BucketCount, len(h.counts)),
+	}
+	for i := range h.counts {
+		le := math.Inf(1)
+		if i < len(h.bounds) {
+			le = h.bounds[i]
+		}
+		c := h.counts[i].Load()
+		snap.Buckets[i] = BucketCount{LE: le, Count: c}
+		snap.Count += c
+	}
+	if snap.Count > 0 {
+		snap.P50 = h.Quantile(0.50)
+		snap.P90 = h.Quantile(0.90)
+		snap.P99 = h.Quantile(0.99)
+	}
+	return snap
+}
+
+// writePrometheus renders the histogram in the exposition format with
+// cumulative buckets, as the format requires.
+func (h *Histogram) writePrometheus(w io.Writer, label string) {
+	name := promName(h.name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabelWith(label, "le", le), cum)
+	}
+	lbl := ""
+	if label != "" {
+		lbl = `{endpoint="` + label + `"}`
+	}
+	fmt.Fprintf(w, "%s_sum%s %g\n", name, lbl, h.Sum())
+	fmt.Fprintf(w, "%s_count%s %d\n", name, lbl, cum)
+}
+
+// atomicFloat is a float64 with atomic add/load (CAS on the bit pattern).
+type atomicFloat struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat) Add(v float64) {
+	for {
+		old := a.bits.Load()
+		if a.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) Load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+func (a *atomicFloat) Store(v float64) { a.bits.Store(math.Float64bits(v)) }

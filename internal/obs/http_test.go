@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"p2pcollect/internal/rlnc"
+)
+
+// buildRegistry returns a registry exercising every exposed element.
+func buildRegistry(label string) *Registry {
+	r := NewRegistry(label)
+	counters := map[string]int64{"pullsUseful": 12, "pullsEmpty": 3}
+	r.RegisterCounters(func(f func(string, int64)) {
+		f("pullsUseful", counters["pullsUseful"])
+		f("pullsEmpty", counters["pullsEmpty"])
+	})
+	h := r.Histogram("deliveryDelay", []float64{1, 2, 4})
+	h.Observe(1.5)
+	h.Observe(3)
+	g := r.Gauge("bufferOccupancy")
+	g.Set(17)
+	ts := r.TimeSeries("occupancy", 8)
+	ts.Observe(1, 10)
+	ts.Observe(2, 12)
+	rt := NewRingTracer(16)
+	rt.Trace(TraceEvent{Seg: rlnc.SegmentID{Origin: 1, Seq: 1}, Kind: TraceInject, T: 1})
+	r.SetTracer(rt)
+	r.SetInfo("policy", "blind")
+	return r
+}
+
+func TestServeEndpoints(t *testing.T) {
+	group := NewGroup(buildRegistry("node-1"), buildRegistry("server"))
+	srv, err := Serve("127.0.0.1:0", group)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get(srv.URL() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body)
+	}
+
+	metrics := get("/metrics")
+	for _, want := range []string{
+		`p2p_pullsUseful{endpoint="node-1"} 12`,
+		`p2p_pullsUseful{endpoint="server"} 12`,
+		`p2p_bufferOccupancy{endpoint="node-1"} 17`,
+		`p2p_deliveryDelay_bucket{endpoint="node-1",le="2"} 1`,
+		`p2p_deliveryDelay_count{endpoint="node-1"} 2`,
+		`p2p_occupancy{endpoint="server"} 12`, // latest series sample as gauge
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, metrics)
+		}
+	}
+
+	var snap struct {
+		Endpoints []Snapshot `json:"endpoints"`
+	}
+	if err := json.Unmarshal([]byte(get("/debug/snapshot")), &snap); err != nil {
+		t.Fatalf("snapshot not JSON: %v", err)
+	}
+	if len(snap.Endpoints) != 2 {
+		t.Fatalf("snapshot has %d endpoints, want 2", len(snap.Endpoints))
+	}
+	ep := snap.Endpoints[0]
+	if ep.Label != "node-1" || ep.Counters["pullsUseful"] != 12 ||
+		ep.Info["policy"] != "blind" || len(ep.TraceTail) != 1 {
+		t.Errorf("snapshot endpoint = %+v", ep)
+	}
+	if len(ep.Histograms) != 1 || ep.Histograms[0].Count != 2 {
+		t.Errorf("snapshot histograms = %+v", ep.Histograms)
+	}
+	if len(ep.Series) != 1 || len(ep.Series[0].Points) != 2 {
+		t.Errorf("snapshot series = %+v", ep.Series)
+	}
+
+	if pprofIdx := get("/debug/pprof/"); !strings.Contains(pprofIdx, "goroutine") {
+		t.Errorf("/debug/pprof/ index looks wrong:\n%.200s", pprofIdx)
+	}
+	if idx := get("/"); !strings.Contains(idx, "/metrics") {
+		t.Errorf("index page missing route list:\n%s", idx)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("256.0.0.1:bogus", NewRegistry("")); err == nil {
+		t.Fatal("Serve accepted a bogus address")
+	}
+}
+
+func TestScrapeWhileCounting(t *testing.T) {
+	// Registry-level race check: scrape the HTTP endpoint while counters,
+	// histogram, gauge, and tracer are hammered from another goroutine.
+	r := NewRegistry("busy")
+	h := r.Histogram("d", ExpBuckets(0.001, 2, 10))
+	g := r.Gauge("g")
+	rt := NewRingTracer(32)
+	r.SetTracer(rt)
+	srv, err := Serve("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2000; i++ {
+			h.Observe(float64(i) * 0.001)
+			g.Set(float64(i))
+			rt.Trace(TraceEvent{T: float64(i)})
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		for _, path := range []string{"/metrics", "/debug/snapshot"} {
+			resp, err := http.Get(srv.URL() + path)
+			if err != nil {
+				t.Fatalf("scrape %s: %v", path, err)
+			}
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+		}
+	}
+	<-done
+}

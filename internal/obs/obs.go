@@ -1,0 +1,261 @@
+// Package obs is the clock-agnostic observability layer shared by the
+// discrete-event simulator and the live runtime. The protocol's event
+// counters (internal/metrics.CounterSet behind peercore.EventSink) answer
+// "how many", but the paper's core claims are distributional — collection
+// delay percentiles (Theorems 1-2), the buffer-occupancy trajectory Y(t)
+// of the ODE in §IV, useful-pull throughput over time — and "how many"
+// cannot answer "how long" or "why was this one slow". This package adds
+// the three missing instruments:
+//
+//   - Distribution metrics: a fixed-bucket, atomically updated Histogram
+//     (p50/p90/p99, mergeable across nodes), a Gauge for spot values, and a
+//     bounded TimeSeries sampler. Time is an opaque float64 supplied by the
+//     driver — simulated time in internal/sim, wall seconds in
+//     internal/live — exactly like the peercore state machines.
+//
+//   - Segment-lifecycle tracing: a Tracer interface with a nop
+//     implementation (the default; it keeps the hot path and all golden
+//     seeded runs byte-identical) and a bounded ring implementation that
+//     records per-segment milestones — injection, gossip hops, server rank
+//     increments, delivery, decode, purge — cheap enough to leave on. A
+//     trace query reconstructs "where did segment X's time go".
+//
+//   - Exposition: Registry bundles counters, histograms, gauges, series,
+//     and a trace tail behind one scrape surface; Handler/Serve put it on
+//     HTTP as Prometheus text (/metrics), a JSON snapshot
+//     (/debug/snapshot), and net/http/pprof (/debug/pprof/).
+//
+// Nothing in this package draws from the protocol's random streams, so
+// enabling any of it never perturbs a seeded run; the golden tests in
+// internal/sim pin that contract.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+)
+
+// promPrefix namespaces every exposed metric name.
+const promPrefix = "p2p_"
+
+// traceTailLen is how many trailing trace events a snapshot carries.
+const traceTailLen = 64
+
+// Registry is one endpoint's scrape surface: every counter source,
+// histogram, gauge, time series, and optional tracer registered on it
+// appears in the Prometheus text and the JSON snapshot. Registration
+// usually happens at endpoint construction; all methods are safe for
+// concurrent use with scrapes.
+type Registry struct {
+	label string
+
+	mu       sync.Mutex
+	counters []func(func(name string, v int64))
+	hists    []*Histogram
+	gauges   []*Gauge
+	series   []*TimeSeries
+	tracer   *RingTracer
+	info     map[string]string
+}
+
+// NewRegistry returns an empty registry. The label identifies the endpoint
+// when several registries share one debug server (e.g. "node-3",
+// "server-1"); it becomes the Prometheus endpoint label and the snapshot's
+// Label field.
+func NewRegistry(label string) *Registry {
+	return &Registry{label: label, info: make(map[string]string)}
+}
+
+// Label returns the endpoint label.
+func (r *Registry) Label() string { return r.label }
+
+// RegisterCounters adds an alloc-free counter source: rangeFn must call its
+// callback once per counter with a stable name. metrics.CounterSet.Range
+// and peercore.Counters.Range have exactly this shape.
+func (r *Registry) RegisterCounters(rangeFn func(func(name string, v int64))) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters = append(r.counters, rangeFn)
+}
+
+// RegisterHistogram adds a histogram to the scrape surface.
+func (r *Registry) RegisterHistogram(h *Histogram) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.hists = append(r.hists, h)
+}
+
+// Histogram creates a histogram with the given bucket upper bounds and
+// registers it.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	h := NewHistogram(name, bounds)
+	r.RegisterHistogram(h)
+	return h
+}
+
+// RegisterGauge adds a gauge to the scrape surface.
+func (r *Registry) RegisterGauge(g *Gauge) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gauges = append(r.gauges, g)
+}
+
+// Gauge creates a named gauge and registers it.
+func (r *Registry) Gauge(name string) *Gauge {
+	g := NewGauge(name)
+	r.RegisterGauge(g)
+	return g
+}
+
+// RegisterTimeSeries adds a bounded series to the scrape surface.
+func (r *Registry) RegisterTimeSeries(ts *TimeSeries) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.series = append(r.series, ts)
+}
+
+// TimeSeries creates a bounded series and registers it.
+func (r *Registry) TimeSeries(name string, capacity int) *TimeSeries {
+	ts := NewTimeSeries(name, capacity)
+	r.RegisterTimeSeries(ts)
+	return ts
+}
+
+// SetTracer attaches a ring tracer whose tail appears in snapshots.
+func (r *Registry) SetTracer(t *RingTracer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracer = t
+}
+
+// Tracer returns the attached ring tracer, or nil.
+func (r *Registry) Tracer() *RingTracer {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tracer
+}
+
+// SetInfo attaches a static key→value annotation (policy name, config
+// digest); it appears in the snapshot's Info map.
+func (r *Registry) SetInfo(key, value string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.info[key] = value
+}
+
+// Snapshot is the JSON shape of one registry scrape.
+type Snapshot struct {
+	Label      string              `json:"label,omitempty"`
+	Info       map[string]string   `json:"info,omitempty"`
+	Counters   map[string]int64    `json:"counters"`
+	Histograms []HistogramSnapshot `json:"histograms,omitempty"`
+	Gauges     map[string]float64  `json:"gauges,omitempty"`
+	Series     []SeriesSnapshot    `json:"series,omitempty"`
+	TraceTail  []TraceEvent        `json:"traceTail,omitempty"`
+}
+
+// SeriesSnapshot is one bounded time series in a snapshot.
+type SeriesSnapshot struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// Snapshot captures the registry's current state.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := Snapshot{
+		Label:    r.label,
+		Counters: make(map[string]int64),
+		Gauges:   make(map[string]float64),
+	}
+	if len(r.info) > 0 {
+		snap.Info = make(map[string]string, len(r.info))
+		for k, v := range r.info {
+			snap.Info[k] = v
+		}
+	}
+	for _, rangeFn := range r.counters {
+		rangeFn(func(name string, v int64) { snap.Counters[name] = v })
+	}
+	for _, h := range r.hists {
+		snap.Histograms = append(snap.Histograms, h.Snapshot())
+	}
+	for _, g := range r.gauges {
+		snap.Gauges[g.Name()] = g.Value()
+	}
+	for _, ts := range r.series {
+		snap.Series = append(snap.Series, SeriesSnapshot{Name: ts.Name(), Points: ts.Points()})
+	}
+	if r.tracer != nil {
+		snap.TraceTail = r.tracer.Tail(traceTailLen)
+	}
+	return snap
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format. Counter names keep their Go-side camelCase (legal in the format);
+// the endpoint label distinguishes registries sharing a debug server.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	lbl := r.promLabel()
+	for _, rangeFn := range r.counters {
+		rangeFn(func(name string, v int64) {
+			name = promName(name)
+			fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, lbl, v)
+		})
+	}
+	for _, g := range r.gauges {
+		name := promName(g.Name())
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %g\n", name, name, lbl, g.Value())
+	}
+	for _, h := range r.hists {
+		h.writePrometheus(w, r.label)
+	}
+	for _, ts := range r.series {
+		// Series expose their latest sample as a gauge; the full trajectory
+		// is in the JSON snapshot (Prometheus scrapes build their own).
+		if p, ok := ts.Last(); ok {
+			name := promName(ts.Name())
+			fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %g\n", name, name, lbl, p.V)
+		}
+	}
+}
+
+// promLabel renders the endpoint label set, or "" when unlabeled.
+func (r *Registry) promLabel() string {
+	if r.label == "" {
+		return ""
+	}
+	return `{endpoint="` + r.label + `"}`
+}
+
+// promLabelWith renders the endpoint label plus one extra pair.
+func promLabelWith(label, key, value string) string {
+	pairs := make([]string, 0, 2)
+	if label != "" {
+		pairs = append(pairs, `endpoint="`+label+`"`)
+	}
+	pairs = append(pairs, key+`="`+value+`"`)
+	return "{" + strings.Join(pairs, ",") + "}"
+}
+
+// promName sanitizes a metric name for the exposition format and applies
+// the package prefix (which also guarantees a non-digit first character).
+func promName(name string) string {
+	var b strings.Builder
+	b.WriteString(promPrefix)
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c >= '0' && c <= '9':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"p2pcollect/internal/rlnc"
+)
+
+// TraceKind labels one milestone in a segment's life.
+type TraceKind uint8
+
+const (
+	// TraceInject: the segment entered the system at its origin node.
+	TraceInject TraceKind = iota
+	// TraceGossipHop: a node stored a coded block it had not seen before.
+	TraceGossipHop
+	// TraceServerRank: a server pull raised the segment's decoder rank; N
+	// carries the new rank.
+	TraceServerRank
+	// TraceDelivered: a server pull completed the segment's rank (all s
+	// dimensions present).
+	TraceDelivered
+	// TraceDecoded: the server decoded the segment's payload.
+	TraceDecoded
+	// TracePurged: a node dropped its holding for the segment.
+	TracePurged
+
+	numTraceKinds
+)
+
+var traceKindNames = [numTraceKinds]string{
+	"inject", "gossipHop", "serverRank", "delivered", "decoded", "purged",
+}
+
+// String names the kind for logs and JSON.
+func (k TraceKind) String() string {
+	if int(k) < len(traceKindNames) {
+		return traceKindNames[k]
+	}
+	return fmt.Sprintf("traceKind(%d)", uint8(k))
+}
+
+// MarshalJSON encodes the kind as its name.
+func (k TraceKind) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + k.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a kind name produced by MarshalJSON.
+func (k *TraceKind) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for i, n := range traceKindNames {
+		if n == name {
+			*k = TraceKind(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown trace kind %q", name)
+}
+
+// TraceEvent is one recorded milestone.
+type TraceEvent struct {
+	// Seg identifies the segment the milestone belongs to.
+	Seg rlnc.SegmentID `json:"seg"`
+	// Kind is the milestone type.
+	Kind TraceKind `json:"kind"`
+	// T is the driver's clock at the milestone (simulated time or wall
+	// seconds — same convention as everything else in this package).
+	T float64 `json:"t"`
+	// Actor is the node or server the milestone happened at.
+	Actor uint64 `json:"actor"`
+	// N is kind-specific: the rank after a TraceServerRank, the holding's
+	// block count at a TraceGossipHop/TracePurged, else 0.
+	N int `json:"n,omitempty"`
+}
+
+// Tracer receives segment milestones. The nop implementation is the
+// default everywhere, so tracing is strictly opt-in and the hot path pays
+// one interface call when disabled. Implementations must be safe for
+// concurrent use: live nodes trace from multiple goroutines.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// NopTracer discards every event; it is the zero-cost default.
+type NopTracer struct{}
+
+// Trace implements Tracer by doing nothing.
+func (NopTracer) Trace(TraceEvent) {}
+
+// RingTracer keeps the last cap events in a fixed ring. Trace is O(1),
+// allocation-free, and takes one short mutex hold, cheap enough to leave
+// enabled on live clusters; when the ring wraps the oldest events are
+// overwritten, so queries see a sliding window.
+type RingTracer struct {
+	mu    sync.Mutex
+	buf   []TraceEvent
+	start int
+	n     int
+}
+
+// NewRingTracer returns a tracer retaining the last cap events
+// (minimum 1).
+func NewRingTracer(cap int) *RingTracer {
+	if cap < 1 {
+		cap = 1
+	}
+	return &RingTracer{buf: make([]TraceEvent, cap)}
+}
+
+// Trace implements Tracer.
+func (rt *RingTracer) Trace(ev TraceEvent) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.n < len(rt.buf) {
+		rt.buf[(rt.start+rt.n)%len(rt.buf)] = ev
+		rt.n++
+		return
+	}
+	rt.buf[rt.start] = ev
+	rt.start = (rt.start + 1) % len(rt.buf)
+}
+
+// Len returns the number of retained events.
+func (rt *RingTracer) Len() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.n
+}
+
+// Tail returns up to n most recent events, oldest-first.
+func (rt *RingTracer) Tail(n int) []TraceEvent {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if n > rt.n {
+		n = rt.n
+	}
+	if n <= 0 {
+		return nil
+	}
+	out := make([]TraceEvent, n)
+	first := rt.n - n // skip the oldest rt.n-n events
+	for i := 0; i < n; i++ {
+		out[i] = rt.buf[(rt.start+first+i)%len(rt.buf)]
+	}
+	return out
+}
+
+// Query collects every retained event for one segment, in time order,
+// reconstructing where that segment's time went.
+func (rt *RingTracer) Query(seg rlnc.SegmentID) SegmentTrace {
+	rt.mu.Lock()
+	var events []TraceEvent
+	for i := 0; i < rt.n; i++ {
+		ev := rt.buf[(rt.start+i)%len(rt.buf)]
+		if ev.Seg == seg {
+			events = append(events, ev)
+		}
+	}
+	rt.mu.Unlock()
+	// The ring is insertion-ordered; live clusters may interleave clocks
+	// slightly across goroutines, so sort by time for a stable story.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	return SegmentTrace{Seg: seg, Events: events}
+}
+
+// SegmentTrace is one segment's milestone history.
+type SegmentTrace struct {
+	Seg    rlnc.SegmentID `json:"seg"`
+	Events []TraceEvent   `json:"events"`
+}
+
+// Phase is one span of a segment's life between two milestones.
+type Phase struct {
+	// Name describes the span, e.g. "inject→firstHop" or "delivered→decoded".
+	Name string `json:"name"`
+	// Dur is the span's length on the driver's clock.
+	Dur float64 `json:"dur"`
+}
+
+// Phases breaks the trace into the spans that answer "where did the time
+// go": injection to first gossip hop, first hop to delivery, delivery to
+// decode. Spans whose endpoints were not captured (event evicted from the
+// ring, or not reached yet) are omitted.
+func (st SegmentTrace) Phases() []Phase {
+	var inject, firstHop, delivered, decoded *TraceEvent
+	for i := range st.Events {
+		ev := &st.Events[i]
+		switch ev.Kind {
+		case TraceInject:
+			if inject == nil {
+				inject = ev
+			}
+		case TraceGossipHop:
+			if firstHop == nil {
+				firstHop = ev
+			}
+		case TraceDelivered:
+			if delivered == nil {
+				delivered = ev
+			}
+		case TraceDecoded:
+			if decoded == nil {
+				decoded = ev
+			}
+		}
+	}
+	var phases []Phase
+	add := func(name string, from, to *TraceEvent) {
+		// A span is only meaningful when both milestones were captured and in
+		// order — a segment pulled straight off its origin can be delivered
+		// before its first replication hop.
+		if from != nil && to != nil && to.T >= from.T {
+			phases = append(phases, Phase{Name: name, Dur: to.T - from.T})
+		}
+	}
+	add("inject→firstHop", inject, firstHop)
+	add("firstHop→delivered", firstHop, delivered)
+	add("inject→delivered", inject, delivered)
+	add("delivered→decoded", delivered, decoded)
+	return phases
+}

@@ -132,3 +132,7 @@ func (c *Counters) Get(ev Event) int64 { return c.set.Get(int(ev)) }
 
 // Snapshot returns a name→value copy of every counter.
 func (c *Counters) Snapshot() map[string]int64 { return c.set.Snapshot() }
+
+// Range visits every counter in event order without allocating; the shape
+// matches what the observability registry scrapes.
+func (c *Counters) Range(f func(name string, v int64)) { c.set.Range(f) }

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 
+	"p2pcollect/internal/obs"
 	"p2pcollect/internal/pullsched"
 )
 
@@ -92,6 +93,11 @@ type Config struct {
 	// means injection runs for the whole simulation. Used by the
 	// post-session drain experiment (Theorem 4).
 	InjectUntil float64
+	// Tracer receives segment-lifecycle milestones (injection, gossip hops,
+	// server rank increments, delivery, decode, purge) on the simulated
+	// clock. Nil disables tracing; the hooks then cost a single interface
+	// call and draw no randomness, so seeded runs stay byte-identical.
+	Tracer obs.Tracer
 	// Warmup is the time after which measurements are collected.
 	Warmup float64
 	// Horizon is the total simulated duration.

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"p2pcollect/internal/obs"
+)
+
+func obsTestConfig() Config {
+	return Config{
+		N: 60, Lambda: 1, Mu: 8, Gamma: 0.5,
+		SegmentSize: 4, BufferCap: 32, C: 2, NumServers: 2,
+		Warmup: 5, Horizon: 25, Seed: 42,
+	}
+}
+
+// TestObsDoesNotPerturbSeededRun is the tentpole contract: attaching the
+// full observability stack — ring tracer plus sampled registry — leaves a
+// seeded run's measurements identical to the bare run, because none of the
+// instruments draw from the protocol RNG.
+func TestObsDoesNotPerturbSeededRun(t *testing.T) {
+	bare, err := Run(obsTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := obsTestConfig()
+	cfg.Tracer = obs.NewRingTracer(4096)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableObs(0.5)
+	s.RunUntil(cfg.Horizon)
+	instrumented := s.Result()
+
+	// Configs differ by the Tracer field; measurements must not.
+	bare.Config = Config{}
+	instrumented.Config = Config{}
+	if !reflect.DeepEqual(bare, instrumented) {
+		t.Errorf("instrumented run diverged:\nbare: %+v\nobs:  %+v", bare, instrumented)
+	}
+}
+
+func TestSimObsInstruments(t *testing.T) {
+	cfg := obsTestConfig()
+	rt := obs.NewRingTracer(1 << 16)
+	cfg.Tracer = rt
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := s.EnableObs(0.5)
+	if again := s.EnableObs(0.5); again != reg {
+		t.Fatal("EnableObs did not return the same registry on repeat call")
+	}
+	s.RunUntil(cfg.Horizon)
+	res := s.Result()
+
+	snap := reg.Snapshot()
+	if snap.Label != "sim" {
+		t.Errorf("label = %q", snap.Label)
+	}
+	if snap.Counters["serverPulls"] != res.ServerPulls {
+		t.Errorf("scraped serverPulls = %d, Result has %d",
+			snap.Counters["serverPulls"], res.ServerPulls)
+	}
+
+	// The delivery histogram sees every delivery (warmup included), so it
+	// must hold at least the windowed count and agree with the tracer.
+	var delivery *obs.HistogramSnapshot
+	for i := range snap.Histograms {
+		if snap.Histograms[i].Name == "deliveryDelay" {
+			delivery = &snap.Histograms[i]
+		}
+	}
+	if delivery == nil {
+		t.Fatal("no deliveryDelay histogram in snapshot")
+	}
+	if delivery.Count < res.DeliveredSegments || delivery.Count == 0 {
+		t.Errorf("deliveryDelay count = %d, windowed deliveries = %d",
+			delivery.Count, res.DeliveredSegments)
+	}
+	if delivery.P50 <= 0 || delivery.P90 < delivery.P50 || delivery.P99 < delivery.P90 {
+		t.Errorf("percentiles not ordered: p50=%g p90=%g p99=%g",
+			delivery.P50, delivery.P90, delivery.P99)
+	}
+
+	// The occupancy series sampled the whole horizon on the sim clock.
+	var blocks []obs.Point
+	for _, sr := range snap.Series {
+		if sr.Name == "blocksPerPeer" {
+			blocks = sr.Points
+		}
+	}
+	if want := int(cfg.Horizon/0.5) + 1; len(blocks) < want {
+		t.Fatalf("blocksPerPeer has %d samples, want >= %d", len(blocks), want)
+	}
+	if last := blocks[len(blocks)-1]; last.T < cfg.Horizon-1 {
+		t.Errorf("last occupancy sample at t=%g, horizon %g", last.T, cfg.Horizon)
+	}
+
+	// The trace tail reached the snapshot through the registry.
+	if len(snap.TraceTail) == 0 {
+		t.Error("snapshot carries no trace tail despite ring tracer")
+	}
+
+	// Lifecycle reconstruction: some delivered segment must show a full
+	// inject→delivered story with non-negative phase durations.
+	deliveredEvents := 0
+	checked := false
+	for _, ev := range rt.Tail(1 << 16) {
+		if ev.Kind != obs.TraceDelivered {
+			continue
+		}
+		deliveredEvents++
+		st := rt.Query(ev.Seg)
+		if len(st.Events) < 2 {
+			continue
+		}
+		for _, ph := range st.Phases() {
+			if ph.Dur < 0 {
+				t.Errorf("segment %v phase %q negative: %g", ev.Seg, ph.Name, ph.Dur)
+			}
+			checked = true
+		}
+	}
+	if deliveredEvents == 0 {
+		t.Error("tracer recorded no deliveries")
+	}
+	if !checked {
+		t.Error("no segment had a reconstructable phase breakdown")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"p2pcollect/internal/des"
 	"p2pcollect/internal/logdata"
 	"p2pcollect/internal/metrics"
+	"p2pcollect/internal/obs"
 	"p2pcollect/internal/peercore"
 	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
@@ -77,6 +78,17 @@ type Simulator struct {
 	onDeliver func(SegmentView)
 
 	trace []TracePoint
+
+	// tracer receives segment-lifecycle milestones; NopTracer by default.
+	tracer obs.Tracer
+	// Observability registry and instruments, nil until EnableObs. None of
+	// them draw randomness, so the seeded event sequence is unperturbed.
+	obsReg      *obs.Registry
+	obsDelivery *obs.Histogram  // inject→state-s delay
+	obsDecode   *obs.Histogram  // inject→full-rank delay
+	obsBlocks   *obs.TimeSeries // buffered blocks per peer, E(t)/N
+	obsZ0       *obs.TimeSeries // empty-peer fraction z_0(t)
+	obsSegs     *obs.Gauge      // live segments
 }
 
 // TracePoint is one sample of the network's transient state. The
@@ -152,11 +164,15 @@ func New(cfg Config) (*Simulator, error) {
 		segs:     make(map[rlnc.SegmentID]*segMeta),
 		nonEmpty: newIndexSet(cfg.N),
 		counters: peercore.NewCounters(),
+		tracer:   cfg.Tracer,
 		pcfg: peercore.PeerConfig{
 			SegmentSize: cfg.SegmentSize,
 			BufferCap:   cfg.BufferCap,
 			Gamma:       cfg.Gamma,
 		},
+	}
+	if s.tracer == nil {
+		s.tracer = obs.NopTracer{}
 	}
 	// In IndependentServers mode the pooled collector only tracks the union
 	// rank (via Observe); the state machines that count are per-server.
@@ -382,6 +398,53 @@ func (s *Simulator) TracePoints() []TracePoint {
 	return append([]TracePoint(nil), s.trace...)
 }
 
+// EnableObs attaches an observability registry to the run and starts a
+// sampler on the simulated clock: every interval it records the per-peer
+// buffer occupancy E(t)/N and the empty-peer fraction z_0(t) into bounded
+// time series, and from then on every delivery and decode lands its
+// inject→completion delay in a histogram. The registry carries the shared
+// protocol counters too, so it can be served by obs.Serve or merged with
+// live registries. Like StartTrace, the sampler draws no randomness.
+// Call once, before running; returns the same registry on repeat calls.
+func (s *Simulator) EnableObs(interval float64) *obs.Registry {
+	if s.obsReg != nil {
+		return s.obsReg
+	}
+	if interval <= 0 {
+		panic("sim: non-positive obs sample interval")
+	}
+	r := obs.NewRegistry("sim")
+	r.RegisterCounters(s.counters.Range)
+	s.obsReg = r
+	s.obsDelivery = r.Histogram("deliveryDelay", obs.ExpBuckets(0.125, 2, 14))
+	s.obsDecode = r.Histogram("decodeDelay", obs.ExpBuckets(0.125, 2, 14))
+	s.obsBlocks = r.TimeSeries("blocksPerPeer", 4096)
+	s.obsZ0 = r.TimeSeries("emptyPeerFrac", 4096)
+	s.obsSegs = r.Gauge("liveSegments")
+	if rt, ok := s.tracer.(*obs.RingTracer); ok {
+		r.SetTracer(rt)
+	}
+	var tick func()
+	tick = func() {
+		s.sampleObs()
+		s.clock.After(interval, tick)
+	}
+	s.sampleObs()
+	s.clock.After(interval, tick)
+	return r
+}
+
+// sampleObs records one observability sample of the network state.
+func (s *Simulator) sampleObs() {
+	now := s.clock.Now()
+	n := float64(s.Population())
+	if n > 0 {
+		s.obsBlocks.Observe(now, float64(s.totalBlocks)/n)
+		s.obsZ0.Observe(now, 1-float64(s.nonEmpty.len())/n)
+	}
+	s.obsSegs.Set(float64(len(s.segs)))
+}
+
 // TotalBlocks returns the number of coded blocks currently buffered across
 // all peers (the edge count E(t) of the bipartite graph).
 func (s *Simulator) TotalBlocks() int64 { return s.totalBlocks }
@@ -448,6 +511,7 @@ func (s *Simulator) inject(pi int) {
 		}
 	}
 	s.segs[segID] = meta
+	s.tracer.Trace(obs.TraceEvent{Seg: segID, Kind: obs.TraceInject, T: s.clock.Now(), Actor: p.id})
 	for _, st := range stored {
 		s.noteStored(pi, st.Block, st.TTL)
 	}
@@ -514,6 +578,10 @@ func (s *Simulator) gossip(pi int) {
 		return
 	}
 	s.noteStored(target, cb, res.TTL)
+	s.tracer.Trace(obs.TraceEvent{
+		Seg: cb.Seg, Kind: obs.TraceGossipHop, T: s.clock.Now(),
+		Actor: s.peers[target].id, N: s.segs[cb.Seg].degree,
+	})
 }
 
 // noteStored does the network-level bookkeeping for one block the peer
@@ -719,6 +787,12 @@ func (s *Simulator) pull(server int) {
 	if out.Useful && now >= s.cfg.Warmup {
 		s.usefulInWindow++
 	}
+	if out.Innovative {
+		s.tracer.Trace(obs.TraceEvent{
+			Seg: segID, Kind: obs.TraceServerRank, T: now,
+			Actor: uint64(server), N: rcol.Rank(),
+		})
+	}
 	if out.Delivered && !meta.delivered() {
 		meta.deliveredAt = now
 		if meta.degree >= s.cfg.SegmentSize {
@@ -730,6 +804,10 @@ func (s *Simulator) pull(server int) {
 		if now >= s.cfg.Warmup {
 			s.deliveredInWindow++
 			s.stateDelay.Add(now - meta.injectTime)
+		}
+		s.tracer.Trace(obs.TraceEvent{Seg: segID, Kind: obs.TraceDelivered, T: now, Actor: uint64(server)})
+		if s.obsDelivery != nil {
+			s.obsDelivery.Observe(now - meta.injectTime)
 		}
 		if s.onDeliver != nil {
 			s.onDeliver(meta.view())
@@ -746,6 +824,10 @@ func (s *Simulator) pull(server int) {
 		if now >= s.cfg.Warmup {
 			s.rankDecodedInWindow++
 			s.rankDelay.Add(now - meta.injectTime)
+		}
+		s.tracer.Trace(obs.TraceEvent{Seg: segID, Kind: obs.TraceDecoded, T: now, Actor: uint64(server)})
+		if s.obsDecode != nil {
+			s.obsDecode.Observe(now - meta.injectTime)
 		}
 		if s.onDecode != nil {
 			s.onDecode(meta.view())
@@ -810,6 +892,12 @@ func (s *Simulator) expireBlock(pi int, gen uint64, cb *rlnc.CodedBlock) {
 // its blocks of the just-delivered segment, freeing buffer space and pull
 // capacity for undelivered data. The pending TTL events become no-ops.
 func (s *Simulator) purgeSegment(segID rlnc.SegmentID) {
+	purged := 0
+	defer func() {
+		if purged > 0 {
+			s.tracer.Trace(obs.TraceEvent{Seg: segID, Kind: obs.TracePurged, T: s.clock.Now(), N: purged})
+		}
+	}()
 	for pi, p := range s.peers {
 		n := p.core.DropSegment(segID)
 		if n == 0 {
@@ -819,6 +907,7 @@ func (s *Simulator) purgeSegment(segID rlnc.SegmentID) {
 			s.nonEmpty.remove(pi)
 		}
 		s.counters.Count(peercore.EvBlockPurged, int64(n))
+		purged += n
 		for k := 0; k < n; k++ {
 			s.noteBlockRemoved(segID)
 		}

@@ -116,6 +116,9 @@ func (t *chanTransport) LocalID() NodeID { return t.id }
 // backpressure drops at the destination mailbox).
 func (t *chanTransport) Counters() map[string]int64 { return t.counters.Snapshot() }
 
+// RangeCounters visits the health counters without allocating.
+func (t *chanTransport) RangeCounters(f func(name string, v int64)) { t.counters.Range(f) }
+
 func (t *chanTransport) Send(to NodeID, m *Message) error {
 	t.mu.Lock()
 	closed := t.closed

@@ -59,6 +59,16 @@ var transportCounterNames = [numTransportCounters]string{
 	ctrFaultDelayed:        "transportFaultDelayed",
 }
 
+// transportCounterIndex maps counter names back to their slot, for merging
+// wrapper and inner counter sets without intermediate maps.
+var transportCounterIndex = func() map[string]int {
+	m := make(map[string]int, numTransportCounters)
+	for i, n := range transportCounterNames {
+		m[n] = i
+	}
+	return m
+}()
+
 // newTransportCounters returns a zeroed health counter set.
 func newTransportCounters() *metrics.CounterSet {
 	return metrics.NewCounterSet(transportCounterNames[:])
@@ -69,4 +79,20 @@ func newTransportCounters() *metrics.CounterSet {
 // "transport*"-prefixed vocabulary.
 type Instrumented interface {
 	Counters() map[string]int64
+}
+
+// CounterRanger is the allocation-free sibling of Instrumented: RangeCounters
+// visits every health counter without building a map, which is the shape the
+// observability registry scrapes on every /metrics hit. Wrapping transports
+// (Faulty) fold their inner transport's counters into the same visit.
+type CounterRanger interface {
+	RangeCounters(f func(name string, v int64))
+}
+
+// DepthReporter is implemented by transports with internal send queues.
+// OutboxDepth returns the messages currently enqueued and not yet written
+// to the network — the live counterpart of the simulator's instantaneous
+// state, and the first thing to look at when a destination is slow.
+type DepthReporter interface {
+	OutboxDepth() int
 }

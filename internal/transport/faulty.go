@@ -157,3 +157,36 @@ func (f *Faulty) Counters() map[string]int64 {
 	}
 	return out
 }
+
+// RangeCounters visits the merged wrapper+inner health counters. Each name
+// is visited exactly once: the vocabulary is fixed, and every counter is
+// incremented by exactly one layer (fault counters by the wrapper, network
+// health by the inner transport), so summing the two sets is exact.
+func (f *Faulty) RangeCounters(fn func(name string, v int64)) {
+	var sums [numTransportCounters]int64
+	add := func(name string, v int64) {
+		if i, ok := transportCounterIndex[name]; ok {
+			sums[i] += v
+		}
+	}
+	f.counters.Range(add)
+	switch ic := f.inner.(type) {
+	case CounterRanger:
+		ic.RangeCounters(add)
+	case Instrumented:
+		for k, v := range ic.Counters() {
+			add(k, v)
+		}
+	}
+	for i := range sums {
+		fn(transportCounterNames[i], sums[i])
+	}
+}
+
+// OutboxDepth reports the inner transport's queue depth, if it has one.
+func (f *Faulty) OutboxDepth() int {
+	if dr, ok := f.inner.(DepthReporter); ok {
+		return dr.OutboxDepth()
+	}
+	return 0
+}

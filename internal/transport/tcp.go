@@ -132,6 +132,21 @@ func (t *TCPTransport) Receive() <-chan *Message { return t.inbox }
 // Counters returns a snapshot of the transport's health counters.
 func (t *TCPTransport) Counters() map[string]int64 { return t.counters.Snapshot() }
 
+// RangeCounters visits the health counters without allocating.
+func (t *TCPTransport) RangeCounters(f func(name string, v int64)) { t.counters.Range(f) }
+
+// OutboxDepth returns the messages queued across all destination outboxes
+// and not yet written to the network.
+func (t *TCPTransport) OutboxDepth() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	depth := 0
+	for _, s := range t.senders {
+		depth += len(s.outbox)
+	}
+	return depth
+}
+
 // Send enqueues m for the destination's sender goroutine and returns
 // immediately; it never blocks on dialing or writing. Unknown destinations
 // and use after Close are reported; everything else is best-effort and

@@ -19,6 +19,10 @@
 //     transports; logging servers reconstruct the original records.
 //   - The experiments package (driven by cmd/collectsim) regenerates every
 //     figure and table of the paper's evaluation.
+//   - The observability layer (histograms, segment-lifecycle tracing, and a
+//     debug HTTP endpoint) instruments both the simulator and live
+//     deployments; see NewRingTracer, ServeDebug, and
+//     ClusterConfig.DebugAddr.
 //
 // See README.md for a walkthrough and examples/ for runnable programs.
 package p2pcollect
@@ -26,6 +30,7 @@ package p2pcollect
 import (
 	"p2pcollect/internal/analysis"
 	"p2pcollect/internal/live"
+	"p2pcollect/internal/obs"
 	"p2pcollect/internal/ode"
 	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
@@ -171,4 +176,53 @@ func NewPullPolicy(name string, seed int64) (PullPolicy, error) { return pullsch
 // rehearsing failure against the exact production code paths.
 func NewFaultyTransport(inner Transport, cfg FaultConfig, seed int64) *FaultyTransport {
 	return transport.NewFaulty(inner, cfg, randx.New(seed))
+}
+
+// Observability layer.
+type (
+	// Tracer receives segment-lifecycle milestones (inject, gossip hops,
+	// rank growth, delivery, decode) from the simulator or live endpoints.
+	Tracer = obs.Tracer
+	// RingTracer is the bounded in-memory Tracer; query it to reconstruct
+	// where a segment's time went.
+	RingTracer = obs.RingTracer
+	// TraceEvent is one recorded segment-lifecycle milestone.
+	TraceEvent = obs.TraceEvent
+	// TraceKind classifies a TraceEvent.
+	TraceKind = obs.TraceKind
+	// SegmentTrace is one segment's recorded lifecycle; Phases breaks it
+	// into named spans (inject→firstHop, inject→delivered, ...).
+	SegmentTrace = obs.SegmentTrace
+	// ObsRegistry is one endpoint's observability registry: counters,
+	// histograms, gauges, and sampled time series, scrapeable as a JSON
+	// snapshot or Prometheus text.
+	ObsRegistry = obs.Registry
+	// DebugServer is a running debug HTTP endpoint (Prometheus /metrics,
+	// JSON /debug/snapshot, pprof).
+	DebugServer = obs.DebugServer
+)
+
+// Segment-lifecycle milestone kinds recorded by tracers.
+const (
+	TraceInject     = obs.TraceInject
+	TraceGossipHop  = obs.TraceGossipHop
+	TraceServerRank = obs.TraceServerRank
+	TraceDelivered  = obs.TraceDelivered
+	TraceDecoded    = obs.TraceDecoded
+	TracePurged     = obs.TracePurged
+)
+
+// NewRingTracer returns a bounded segment-lifecycle tracer holding the last
+// capacity events. Attach it via SimConfig.Tracer, NodeConfig.Tracer, or
+// ServerConfig.Tracer; ClusterConfig.TraceCap attaches a shared one to every
+// endpoint.
+func NewRingTracer(capacity int) *RingTracer { return obs.NewRingTracer(capacity) }
+
+// ServeDebug serves the given registries on one debug HTTP address (":0"
+// for an ephemeral port): Prometheus text on /metrics, a JSON snapshot on
+// /debug/snapshot, and pprof under /debug/pprof/. Registries are
+// distinguished by their endpoint label. Close the returned server when
+// done.
+func ServeDebug(addr string, regs ...*ObsRegistry) (*DebugServer, error) {
+	return obs.Serve(addr, obs.NewGroup(regs...))
 }
