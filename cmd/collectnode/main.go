@@ -50,17 +50,18 @@ func run(args []string) error {
 		peersList = fs.String("peers", "", "server mode: comma-separated peer ids to pull from")
 		duration  = fs.Duration("duration", 0, "how long to run (0 = until SIGINT)")
 
-		segSize   = fs.Int("s", 8, "segment size")
-		blockSize = fs.Int("blocksize", logdata.RecordSize, "payload bytes per block")
-		lambda    = fs.Float64("lambda", 5, "blocks generated per second")
-		mu        = fs.Float64("mu", 10, "gossip blocks per second")
-		gamma     = fs.Float64("gamma", 0.2, "block expiry rate per second")
-		bufferCap = fs.Int("buffer", 512, "buffer capacity in blocks")
-		pullRate  = fs.Float64("pullrate", 20, "server pulls per second")
-		seed      = fs.Int64("seed", time.Now().UnixNano(), "random seed")
-		outPath   = fs.String("out", "", "server mode: append recovered records to this CSV file")
-		statsAddr = fs.String("stats-addr", "", "serve live JSON stats over HTTP on this address (e.g. 127.0.0.1:8080)")
-		debugAddr = fs.String("debug-addr", "", "serve the observability endpoint (Prometheus /metrics, JSON /debug/snapshot, pprof) on this address (e.g. 127.0.0.1:8090)")
+		segSize       = fs.Int("s", 8, "segment size")
+		blockSize     = fs.Int("blocksize", logdata.RecordSize, "payload bytes per block")
+		lambda        = fs.Float64("lambda", 5, "blocks generated per second")
+		mu            = fs.Float64("mu", 10, "gossip blocks per second")
+		gamma         = fs.Float64("gamma", 0.2, "block expiry rate per second")
+		bufferCap     = fs.Int("buffer", 512, "buffer capacity in blocks")
+		pullRate      = fs.Float64("pullrate", 20, "server pulls per second")
+		decodeWorkers = fs.Int("decode-workers", 0, "server mode: decode completed segments on this many workers (0 = synchronous)")
+		seed          = fs.Int64("seed", time.Now().UnixNano(), "random seed")
+		outPath       = fs.String("out", "", "server mode: append recovered records to this CSV file")
+		statsAddr     = fs.String("stats-addr", "", "serve live JSON stats over HTTP on this address (e.g. 127.0.0.1:8080)")
+		debugAddr     = fs.String("debug-addr", "", "serve the observability endpoint (Prometheus /metrics, JSON /debug/snapshot, pprof) on this address (e.g. 127.0.0.1:8090)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -131,10 +132,11 @@ func run(args []string) error {
 			return fmt.Errorf("-peers: %w", err)
 		}
 		srv, err := p2pcollect.NewServer(tr, p2pcollect.ServerConfig{
-			PullRate:  *pullRate,
-			Peers:     ids,
-			Seed:      *seed,
-			DebugAddr: *debugAddr,
+			PullRate:      *pullRate,
+			Peers:         ids,
+			Seed:          *seed,
+			DebugAddr:     *debugAddr,
+			DecodeWorkers: *decodeWorkers,
 		})
 		if err != nil {
 			return err

@@ -16,6 +16,7 @@ import (
 	"io"
 	"os"
 
+	"p2pcollect"
 	"p2pcollect/internal/experiments"
 )
 
@@ -40,6 +41,9 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Wall-clock cost depends heavily on which GF(2^8) kernel the build
+	// selected (results never do), so say which one is running.
+	fmt.Fprintf(os.Stderr, "collectsim: gf256 kernel %q\n", p2pcollect.CodingKernel())
 	opt := experiments.Options{N: *n, Horizon: *horizon, Warmup: *warmup, Seed: *seed}
 	if *experiment == "all" {
 		if *csv {

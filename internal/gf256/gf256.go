@@ -24,9 +24,19 @@ var (
 	_log [256]byte // _log[x] = discrete log of x; _log[0] is unused
 
 	// _mul[k] is the full multiplication row for coefficient k. The 64 KiB
-	// table turns the slice kernels into one branch-free lookup per byte,
-	// which is the gossip/decode hot path.
+	// table turns Dot into one branch-free lookup per byte and backs the
+	// scalar reference kernels.
 	_mul [256][256]byte
+
+	// _nib[k] is the nibble-split product table for coefficient k: bytes
+	// 0..15 hold k·n for the sixteen low-nibble values n, bytes 16..31 hold
+	// k·(n<<4) for the sixteen high-nibble values. Since GF(2^8) addition
+	// is XOR and multiplication distributes, k·v = _nib[k][v&15] ^
+	// _nib[k][16+(v>>4)] — two lookups in a 32-byte row that fits in a
+	// single cache-line pair. The whole table is 8 KiB (vs 64 KiB for
+	// _mul), so it stays L1-resident across coefficient changes, and its
+	// 16-entry halves are exactly the shape PSHUFB consumes on amd64.
+	_nib [256][32]byte
 )
 
 // The tables are deterministic compile-time-style data; building them in a
@@ -50,6 +60,13 @@ func buildTables() struct{} {
 		row := &_mul[a]
 		for b := 1; b < 256; b++ {
 			row[b] = _exp[la+int(_log[b])]
+		}
+	}
+	for a := 0; a < 256; a++ {
+		nib := &_nib[a]
+		for n := 0; n < 16; n++ {
+			nib[n] = _mul[a][n]
+			nib[16+n] = _mul[a][n<<4]
 		}
 	}
 	return struct{}{}
@@ -104,50 +121,6 @@ func Pow(a byte, n int) byte {
 		return 0
 	}
 	return _exp[(int(_log[a])*n)%255]
-}
-
-// MulSlice multiplies every element of dst by k in place.
-func MulSlice(k byte, dst []byte) {
-	if k == 0 {
-		for i := range dst {
-			dst[i] = 0
-		}
-		return
-	}
-	if k == 1 {
-		return
-	}
-	row := &_mul[k]
-	for i, v := range dst {
-		dst[i] = row[v]
-	}
-}
-
-// AddMulSlice computes dst[i] += k * src[i] for every index. The slices must
-// have equal length; mismatched lengths panic via the bounds check.
-func AddMulSlice(dst []byte, k byte, src []byte) {
-	if k == 0 {
-		return
-	}
-	_ = dst[len(src)-1] // hoist the bounds check out of the loop
-	if k == 1 {
-		for i, v := range src {
-			dst[i] ^= v
-		}
-		return
-	}
-	row := &_mul[k]
-	for i, v := range src {
-		dst[i] ^= row[v]
-	}
-}
-
-// AddSlice computes dst[i] += src[i] for every index.
-func AddSlice(dst, src []byte) {
-	_ = dst[len(src)-1]
-	for i, v := range src {
-		dst[i] ^= v
-	}
 }
 
 // Dot returns the inner product of a and b. The slices must have equal

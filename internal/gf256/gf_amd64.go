@@ -1,0 +1,24 @@
+//go:build amd64 && !gf256ref
+
+package gf256
+
+// useAsm gates the SSSE3 PSHUFB kernels. SSSE3 is CPUID leaf 1, ECX bit 9;
+// present on effectively every x86-64 CPU since 2006, but checked anyway so
+// the package degrades to the nibble kernels instead of faulting on exotic
+// VMs that mask feature bits.
+var useAsm = hasSSSE3()
+
+// hasSSSE3 is implemented in gf_amd64.s.
+func hasSSSE3() bool
+
+// mulSliceAsm multiplies dst[0:n] by the coefficient whose nibble table
+// starts at tab, in place. n must be a positive multiple of 16.
+//
+//go:noescape
+func mulSliceAsm(tab *byte, dst *byte, n int)
+
+// addMulSliceAsm computes dst[i] ^= k·src[i] for i in [0,n), where tab is
+// coefficient k's nibble table. n must be a positive multiple of 16.
+//
+//go:noescape
+func addMulSliceAsm(tab *byte, dst *byte, src *byte, n int)

@@ -1,0 +1,82 @@
+//go:build amd64 && !gf256ref
+
+#include "textflag.h"
+
+// GF(2^8) slice kernels via SSSE3 PSHUFB.
+//
+// The nibble table for coefficient k is 32 bytes: tab[0:16] = k·n for the
+// sixteen low-nibble values, tab[16:32] = k·(n<<4) for the high nibbles.
+// PSHUFB with the table in the destination register performs sixteen
+// independent 4-bit lookups at once, so each 16-byte chunk costs two
+// shuffles, a shift, two masks, and one or two XORs.
+
+// func hasSSSE3() bool
+TEXT ·hasSSSE3(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	SHRL $9, CX          // SSSE3 is ECX bit 9
+	ANDL $1, CX
+	MOVB CX, ret+0(FP)
+	RET
+
+// loadTables expands to the common prologue: low table in X6, high table in
+// X7, the 0x0f byte mask in X8.
+#define LOADTABLES(tabreg)       \
+	MOVOU (tabreg), X6           \
+	MOVOU 16(tabreg), X7         \
+	MOVQ  $0x0f0f0f0f0f0f0f0f, AX \
+	MOVQ  AX, X8                 \
+	PUNPCKLQDQ X8, X8
+
+// func mulSliceAsm(tab *byte, dst *byte, n int)
+TEXT ·mulSliceAsm(SB), NOSPLIT, $0-24
+	MOVQ tab+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ n+16(FP), CX
+	LOADTABLES(SI)
+	XORQ DX, DX
+
+mulloop:
+	MOVOU (DI)(DX*1), X0 // source bytes
+	MOVOA X0, X1
+	PSRLQ $4, X1         // high nibbles into low positions
+	PAND  X8, X0         // low nibbles
+	PAND  X8, X1
+	MOVOA X6, X2
+	MOVOA X7, X3
+	PSHUFB X0, X2        // k·low
+	PSHUFB X1, X3        // k·high
+	PXOR  X3, X2
+	MOVOU X2, (DI)(DX*1)
+	ADDQ  $16, DX
+	CMPQ  DX, CX
+	JB    mulloop
+	RET
+
+// func addMulSliceAsm(tab *byte, dst *byte, src *byte, n int)
+TEXT ·addMulSliceAsm(SB), NOSPLIT, $0-32
+	MOVQ tab+0(FP), SI
+	MOVQ dst+8(FP), DI
+	MOVQ src+16(FP), BX
+	MOVQ n+24(FP), CX
+	LOADTABLES(SI)
+	XORQ DX, DX
+
+addmulloop:
+	MOVOU (BX)(DX*1), X0
+	MOVOA X0, X1
+	PSRLQ $4, X1
+	PAND  X8, X0
+	PAND  X8, X1
+	MOVOA X6, X2
+	MOVOA X7, X3
+	PSHUFB X0, X2
+	PSHUFB X1, X3
+	PXOR  X3, X2
+	MOVOU (DI)(DX*1), X4 // accumulate into dst
+	PXOR  X4, X2
+	MOVOU X2, (DI)(DX*1)
+	ADDQ  $16, DX
+	CMPQ  DX, CX
+	JB    addmulloop
+	RET

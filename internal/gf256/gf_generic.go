@@ -1,0 +1,15 @@
+//go:build !amd64 && !gf256ref
+
+package gf256
+
+// Non-amd64 builds have no SIMD kernel; the word-at-a-time nibble kernels
+// carry the whole load.
+const useAsm = false
+
+func mulSliceAsm(tab *byte, dst *byte, n int) {
+	panic("gf256: mulSliceAsm on non-amd64")
+}
+
+func addMulSliceAsm(tab *byte, dst *byte, src *byte, n int) {
+	panic("gf256: addMulSliceAsm on non-amd64")
+}

@@ -1,0 +1,21 @@
+//go:build gf256ref
+
+package gf256
+
+// Reference build: the exported slice kernels are the scalar table loops.
+// This tag exists so a miscompiled or miswritten fast kernel can be ruled
+// out in one rebuild, and so CI exercises the reference path end to end.
+
+// Kernel names the slice-kernel implementation selected at startup.
+func Kernel() string { return "ref" }
+
+// MulSlice multiplies every element of dst by k in place.
+func MulSlice(k byte, dst []byte) { RefMulSlice(k, dst) }
+
+// AddMulSlice computes dst[i] += k * src[i] for every index of src. The
+// slices must have equal length; mismatched lengths panic via the bounds
+// check.
+func AddMulSlice(dst []byte, k byte, src []byte) { RefAddMulSlice(dst, k, src) }
+
+// AddSlice computes dst[i] += src[i] for every index of src.
+func AddSlice(dst, src []byte) { RefAddSlice(dst, src) }

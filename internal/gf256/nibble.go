@@ -1,0 +1,71 @@
+package gf256
+
+import "encoding/binary"
+
+// The pure-Go nibble-split kernels: the classic Reed-Solomon fallback
+// shape. Each byte's product is two lookups in the 32-byte _nib row (low
+// nibble, high nibble); the loop moves over 64-bit words so the source and
+// destination are touched with three word-sized memory operations per
+// eight bytes instead of twenty-four byte-sized ones. These are the fast
+// kernels on architectures without the SIMD path and finish the <16-byte
+// tails the SIMD loop leaves behind.
+
+// mulSliceNibble multiplies dst by k in place. k must not be 0 or 1 (the
+// dispatcher peels those).
+func mulSliceNibble(nib *[32]byte, dst []byte) {
+	lo := (*[16]byte)(nib[0:16])
+	hi := (*[16]byte)(nib[16:32])
+	i := 0
+	for ; i+8 <= len(dst); i += 8 {
+		s := binary.LittleEndian.Uint64(dst[i:])
+		x := uint64(lo[s&15]^hi[s>>4&15]) |
+			uint64(lo[s>>8&15]^hi[s>>12&15])<<8 |
+			uint64(lo[s>>16&15]^hi[s>>20&15])<<16 |
+			uint64(lo[s>>24&15]^hi[s>>28&15])<<24 |
+			uint64(lo[s>>32&15]^hi[s>>36&15])<<32 |
+			uint64(lo[s>>40&15]^hi[s>>44&15])<<40 |
+			uint64(lo[s>>48&15]^hi[s>>52&15])<<48 |
+			uint64(lo[s>>56&15]^hi[s>>60])<<56
+		binary.LittleEndian.PutUint64(dst[i:], x)
+	}
+	for ; i < len(dst); i++ {
+		v := dst[i]
+		dst[i] = lo[v&15] ^ hi[v>>4]
+	}
+}
+
+// addMulSliceNibble computes dst[i] ^= k·src[i]. k must not be 0 or 1, and
+// len(dst) >= len(src) (the dispatcher checks).
+func addMulSliceNibble(nib *[32]byte, dst, src []byte) {
+	lo := (*[16]byte)(nib[0:16])
+	hi := (*[16]byte)(nib[16:32])
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		s := binary.LittleEndian.Uint64(src[i:])
+		x := uint64(lo[s&15]^hi[s>>4&15]) |
+			uint64(lo[s>>8&15]^hi[s>>12&15])<<8 |
+			uint64(lo[s>>16&15]^hi[s>>20&15])<<16 |
+			uint64(lo[s>>24&15]^hi[s>>28&15])<<24 |
+			uint64(lo[s>>32&15]^hi[s>>36&15])<<32 |
+			uint64(lo[s>>40&15]^hi[s>>44&15])<<40 |
+			uint64(lo[s>>48&15]^hi[s>>52&15])<<48 |
+			uint64(lo[s>>56&15]^hi[s>>60])<<56
+		binary.LittleEndian.PutUint64(dst[i:], binary.LittleEndian.Uint64(dst[i:])^x)
+	}
+	for ; i < len(src); i++ {
+		v := src[i]
+		dst[i] ^= lo[v&15] ^ hi[v>>4]
+	}
+}
+
+// addSliceWords computes dst[i] ^= src[i] a word at a time.
+func addSliceWords(dst, src []byte) {
+	i := 0
+	for ; i+8 <= len(src); i += 8 {
+		binary.LittleEndian.PutUint64(dst[i:],
+			binary.LittleEndian.Uint64(dst[i:])^binary.LittleEndian.Uint64(src[i:]))
+	}
+	for ; i < len(src); i++ {
+		dst[i] ^= src[i]
+	}
+}

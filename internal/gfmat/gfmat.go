@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"p2pcollect/internal/gf256"
+	"p2pcollect/internal/slab"
 )
 
 // ErrSingular is returned when a linear system has no unique solution.
@@ -125,6 +126,14 @@ func (m *Matrix) Rank() int {
 // side vector (rhs is rows×k). It returns the cols×k solution, or
 // ErrSingular if m does not have full column rank. The receiver and rhs are
 // not modified.
+//
+// Elimination runs over the augmented matrix [m | rhs], so each pivot is
+// applied to every affected row with a single multiply-accumulate kernel
+// call spanning both the coefficient and right-hand-side halves, and only
+// over the columns a pivot can still touch. With wide right-hand sides
+// (payload decoding: k = payload bytes) this batching roughly halves kernel
+// dispatch overhead and keeps each elimination streaming through one
+// contiguous row.
 func (m *Matrix) Solve(rhs *Matrix) (*Matrix, error) {
 	if m.rows != rhs.rows {
 		panic("gfmat: dimension mismatch in Solve")
@@ -132,13 +141,22 @@ func (m *Matrix) Solve(rhs *Matrix) (*Matrix, error) {
 	if m.rows < m.cols {
 		return nil, ErrSingular
 	}
-	a := m.Clone()
-	b := rhs.Clone()
-	// Forward elimination with partial "first non-zero" pivoting.
-	for col := 0; col < a.cols; col++ {
+	width := m.cols + rhs.cols
+	aug := New(m.rows, width)
+	for i := 0; i < m.rows; i++ {
+		row := aug.Row(i)
+		copy(row[:m.cols], m.Row(i))
+		copy(row[m.cols:], rhs.Row(i))
+	}
+	// Forward elimination with partial "first non-zero" pivoting. After
+	// column c is processed every row but the pivot row has a zero in
+	// column c, so by the time column `col` comes up, all rows are zero in
+	// columns [0, col) except for their own earlier pivots — elimination
+	// only needs the [col:] tail of each row.
+	for col := 0; col < m.cols; col++ {
 		pivot := -1
-		for r := col; r < a.rows; r++ {
-			if a.At(r, col) != 0 {
+		for r := col; r < aug.rows; r++ {
+			if aug.At(r, col) != 0 {
 				pivot = r
 				break
 			}
@@ -147,27 +165,23 @@ func (m *Matrix) Solve(rhs *Matrix) (*Matrix, error) {
 			return nil, ErrSingular
 		}
 		if pivot != col {
-			swapRows(a, pivot, col)
-			swapRows(b, pivot, col)
+			swapRows(aug, pivot, col)
 		}
-		inv := gf256.Inv(a.At(col, col))
-		gf256.MulSlice(inv, a.Row(col))
-		gf256.MulSlice(inv, b.Row(col))
-		for r := 0; r < a.rows; r++ {
+		prow := aug.Row(col)[col:]
+		gf256.MulSlice(gf256.Inv(prow[0]), prow)
+		for r := 0; r < aug.rows; r++ {
 			if r == col {
 				continue
 			}
-			factor := a.At(r, col)
-			if factor == 0 {
-				continue
+			row := aug.Row(r)[col:]
+			if f := row[0]; f != 0 {
+				gf256.AddMulSlice(row, f, prow)
 			}
-			gf256.AddMulSlice(a.Row(r), factor, a.Row(col))
-			gf256.AddMulSlice(b.Row(r), factor, b.Row(col))
 		}
 	}
-	out := New(a.cols, b.cols)
-	for i := 0; i < a.cols; i++ {
-		copy(out.Row(i), b.Row(i))
+	out := New(m.cols, rhs.cols)
+	for i := 0; i < m.cols; i++ {
+		copy(out.Row(i), aug.Row(i)[m.cols:])
 	}
 	return out, nil
 }
@@ -195,6 +209,15 @@ type Echelon struct {
 	width  int
 	pivots []int    // pivot column of each stored row, ascending
 	rows   [][]byte // stored rows, normalized to leading coefficient 1
+
+	// scratch is the reusable reduction buffer for Insert and Contains. A
+	// redundant Insert reduces the candidate to zero inside scratch and
+	// allocates nothing; an innovative Insert promotes scratch into the
+	// basis and lazily replaces it on the next call. Since buffers where
+	// coding traffic mostly consists of redundant arrivals, this removes
+	// the per-arrival allocation from the innovation check.
+	scratch []byte
+	pooled  bool // rows and scratch come from the slab free list
 }
 
 // NewEchelon returns an empty basis for vectors of the given width.
@@ -203,6 +226,15 @@ func NewEchelon(width int) *Echelon {
 		panic("gfmat: echelon width must be positive")
 	}
 	return &Echelon{width: width}
+}
+
+// NewEchelonPooled returns an empty basis whose rows are drawn from the
+// slab free list. Call Release when the basis is no longer needed so the
+// rows return to the pool; the basis remains usable (empty) afterwards.
+func NewEchelonPooled(width int) *Echelon {
+	e := NewEchelon(width)
+	e.pooled = true
+	return e
 }
 
 // Width returns the vector width.
@@ -216,17 +248,41 @@ func (e *Echelon) Full() bool { return len(e.rows) == e.width }
 
 // Insert reduces v against the basis and, if a non-zero remainder is left,
 // adds it, returning true. v is not modified. Inserting a vector of the
-// wrong width panics.
+// wrong width panics. A redundant insert allocates nothing: the reduction
+// runs in the reusable scratch row.
 func (e *Echelon) Insert(v []byte) bool {
 	if len(v) != e.width {
 		panic(fmt.Sprintf("gfmat: echelon width %d, vector width %d", e.width, len(v)))
 	}
-	return e.insertOwned(append([]byte(nil), v...))
+	w := e.scratchRow()
+	copy(w, v)
+	if !e.insertOwned(w) {
+		return false // scratch stays ours for the next Insert
+	}
+	e.scratch = nil // promoted into the basis
+	return true
+}
+
+// scratchRow returns the reusable width-sized reduction buffer, allocating
+// it if the previous one was promoted into the basis.
+func (e *Echelon) scratchRow() []byte {
+	if e.scratch == nil {
+		e.scratch = e.newRow()
+	}
+	return e.scratch[:e.width]
+}
+
+func (e *Echelon) newRow() []byte {
+	if e.pooled {
+		return slab.Get(e.width)
+	}
+	return make([]byte, e.width)
 }
 
 // InsertOwned is like Insert but takes ownership of v, which may be
 // modified and retained. Use it to avoid a copy when the caller no longer
-// needs the vector.
+// needs the vector. In a pooled basis, ownership extends to Release: the
+// row may be handed to the slab free list.
 func (e *Echelon) InsertOwned(v []byte) bool {
 	if len(v) != e.width {
 		panic(fmt.Sprintf("gfmat: echelon width %d, vector width %d", e.width, len(v)))
@@ -269,12 +325,14 @@ func (e *Echelon) insertOwned(v []byte) bool {
 }
 
 // Contains reports whether v lies in the span of the basis without
-// modifying the basis. v is not modified.
+// modifying the basis. v is not modified. The reduction runs in the
+// reusable scratch row, so Contains allocates nothing in steady state.
 func (e *Echelon) Contains(v []byte) bool {
 	if len(v) != e.width {
 		panic("gfmat: width mismatch in Contains")
 	}
-	w := append([]byte(nil), v...)
+	w := e.scratchRow()
+	copy(w, v)
 	for idx, p := range e.pivots {
 		if w[p] != 0 {
 			gf256.AddMulSlice(w, w[p], e.rows[idx])
@@ -283,10 +341,29 @@ func (e *Echelon) Contains(v []byte) bool {
 	return firstNonZero(w) < 0
 }
 
-// Reset empties the basis, retaining capacity where possible.
+// Reset empties the basis, retaining capacity where possible. For a pooled
+// basis the rows stay checked out; use Release to hand them back.
 func (e *Echelon) Reset() {
 	e.pivots = e.pivots[:0]
 	e.rows = e.rows[:0]
+}
+
+// Release empties the basis and, when it was built with NewEchelonPooled,
+// returns every stored row and the scratch buffer to the slab free list.
+// The caller must not retain references to rows previously handed over via
+// InsertOwned. The basis remains usable (empty) afterwards.
+func (e *Echelon) Release() {
+	if e.pooled {
+		for i, r := range e.rows {
+			slab.Put(r)
+			e.rows[i] = nil
+		}
+		if e.scratch != nil {
+			slab.Put(e.scratch)
+		}
+	}
+	e.scratch = nil
+	e.Reset()
 }
 
 func firstNonZero(v []byte) int {

@@ -33,6 +33,9 @@ type ClusterConfig struct {
 	PullPolicy string
 	// OnSegment observes every segment reconstructed by any server.
 	OnSegment func(id rlnc.SegmentID, blocks [][]byte)
+	// DecodeWorkers gives every server a decode worker pool of this size
+	// (see ServerConfig.DecodeWorkers). Zero keeps decodes synchronous.
+	DecodeWorkers int
 	// WrapTransport, when set, wraps every endpoint's transport before the
 	// node or server is built — e.g. in a transport.Faulty for chaos
 	// testing. The callback sees the endpoint's LocalID and may return the
@@ -156,6 +159,7 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Seed:           srvSeed,
 			Policy:         policy,
 			SampleInterval: cfg.Node.SampleInterval,
+			DecodeWorkers:  cfg.DecodeWorkers,
 		}
 		if c.Tracer != nil {
 			srvCfg.Tracer = c.Tracer

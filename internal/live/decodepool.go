@@ -1,0 +1,117 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"p2pcollect/internal/obs"
+	"p2pcollect/internal/peercore"
+	"p2pcollect/internal/rlnc"
+)
+
+// decodePool runs the expensive end-of-segment payload solves on a bounded
+// set of workers, off the server's pull/receive path. The server enqueues a
+// completed collection (already forgotten from the collector and marked
+// finished, so no further blocks can reach it — the pool owns it
+// exclusively); a worker runs the deferred batched solve; a single delivery
+// goroutine replays OnSegment callbacks in completion order, so observers
+// see exactly the sequence a synchronous server would have produced.
+type decodePool struct {
+	jobs    chan decodeJob
+	results chan decodeResult
+
+	workerWG  sync.WaitGroup
+	deliverWG sync.WaitGroup
+
+	deliver func(seg rlnc.SegmentID, blocks [][]byte)
+
+	obsLatency *obs.Histogram // seconds spent solving one segment
+	obsQueue   *obs.Gauge     // jobs enqueued but not yet delivered
+}
+
+type decodeJob struct {
+	seq uint64 // completion order assigned under the server mutex
+	seg rlnc.SegmentID
+	col *peercore.Collection
+}
+
+type decodeResult struct {
+	seq    uint64
+	seg    rlnc.SegmentID
+	blocks [][]byte
+	err    error
+}
+
+// newDecodePool starts workers goroutines plus the delivery goroutine.
+// deliver runs on the delivery goroutine, in ascending seq order, only for
+// successful decodes.
+func newDecodePool(workers int, deliver func(rlnc.SegmentID, [][]byte), latency *obs.Histogram, queue *obs.Gauge) *decodePool {
+	p := &decodePool{
+		// A buffer of a few jobs per worker absorbs decode bursts (several
+		// segments completing within one pull round) without stalling the
+		// receive loop; if the burst outruns it, the receive loop blocks,
+		// which is the correct backpressure.
+		jobs:       make(chan decodeJob, 4*workers),
+		results:    make(chan decodeResult, 4*workers),
+		deliver:    deliver,
+		obsLatency: latency,
+		obsQueue:   queue,
+	}
+	p.workerWG.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	p.deliverWG.Add(1)
+	go p.deliveryLoop()
+	return p
+}
+
+// enqueue hands a completed collection to the pool. The caller must have
+// removed it from the collector first.
+func (p *decodePool) enqueue(seq uint64, seg rlnc.SegmentID, col *peercore.Collection) {
+	p.obsQueue.Add(1)
+	p.jobs <- decodeJob{seq: seq, seg: seg, col: col}
+}
+
+// close drains the pool: no further enqueues may happen. It returns after
+// every queued segment has been decoded and delivered.
+func (p *decodePool) close() {
+	close(p.jobs)
+	p.workerWG.Wait()
+	close(p.results)
+	p.deliverWG.Wait()
+}
+
+func (p *decodePool) worker() {
+	defer p.workerWG.Done()
+	for job := range p.jobs {
+		t0 := time.Now()
+		blocks, err := job.col.Decode()
+		job.col.Release()
+		p.obsLatency.Observe(time.Since(t0).Seconds())
+		p.results <- decodeResult{seq: job.seq, seg: job.seg, blocks: blocks, err: err}
+	}
+}
+
+// deliveryLoop restores completion order: results arrive in whatever order
+// workers finish, and are held until every earlier seq has been delivered.
+func (p *decodePool) deliveryLoop() {
+	defer p.deliverWG.Done()
+	held := make(map[uint64]decodeResult)
+	next := uint64(0)
+	for r := range p.results {
+		held[r.seq] = r
+		for {
+			h, ok := held[next]
+			if !ok {
+				break
+			}
+			delete(held, next)
+			next++
+			p.obsQueue.Add(-1)
+			if h.err == nil && p.deliver != nil {
+				p.deliver(h.seg, h.blocks)
+			}
+		}
+	}
+}

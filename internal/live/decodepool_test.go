@@ -1,0 +1,208 @@
+package live
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"p2pcollect/internal/randx"
+	"p2pcollect/internal/rlnc"
+	"p2pcollect/internal/transport"
+)
+
+// buildSegmentStream precomputes numSegs segments plus an interleaved
+// stream of coded blocks (round-robin across segments, so several
+// collections complete close together and the worker pool actually sees
+// concurrent decodes).
+func buildSegmentStream(numSegs, size, payloadLen int) (map[rlnc.SegmentID][][]byte, []*rlnc.CodedBlock) {
+	drv := rand.New(rand.NewSource(31))
+	crng := randx.New(77)
+	originals := make(map[rlnc.SegmentID][][]byte, numSegs)
+	perSeg := make([][]*rlnc.CodedBlock, numSegs)
+	for i := 0; i < numSegs; i++ {
+		blocks := make([][]byte, size)
+		for j := range blocks {
+			blocks[j] = make([]byte, payloadLen)
+			drv.Read(blocks[j])
+		}
+		seg, err := rlnc.NewSegment(rlnc.SegmentID{Origin: 42, Seq: uint64(i)}, blocks)
+		if err != nil {
+			panic(err)
+		}
+		originals[seg.ID] = blocks
+		src := seg.SourceBlocks()
+		// size+3 random recodings virtually guarantee full rank.
+		for k := 0; k < size+3; k++ {
+			perSeg[i] = append(perSeg[i], rlnc.Recode(src, crng))
+		}
+	}
+	var stream []*rlnc.CodedBlock
+	for k := 0; k < size+3; k++ {
+		for i := 0; i < numSegs; i++ {
+			stream = append(stream, perSeg[i][k])
+		}
+	}
+	return originals, stream
+}
+
+// runDecodeServer pushes the block stream at a push-fed server with the
+// given worker-pool size and returns the decoded segments in OnSegment
+// order.
+func runDecodeServer(t *testing.T, workers int, stream []*rlnc.CodedBlock, want int, size int) (order []rlnc.SegmentID, decoded map[rlnc.SegmentID][][]byte) {
+	t.Helper()
+	net := transport.NewNetwork()
+	srvTr := net.Join(1000)
+	peerTr := net.Join(1)
+
+	var mu sync.Mutex
+	decoded = make(map[rlnc.SegmentID][][]byte)
+	srv, err := NewServer(srvTr, ServerConfig{
+		Peers:         []transport.NodeID{1},
+		SegmentSize:   size,
+		Seed:          1,
+		DecodeWorkers: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.OnSegment = func(id rlnc.SegmentID, blocks [][]byte) {
+		mu.Lock()
+		order = append(order, id)
+		decoded[id] = blocks
+		mu.Unlock()
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	for i, cb := range stream {
+		// Clone so both runs see pristine blocks regardless of transport
+		// ownership transfer.
+		if err := peerTr.Send(1000, &transport.Message{Type: transport.MsgBlock, Block: cb.Clone()}); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 63 {
+			// Let the receive loop drain so the 256-slot inbox never drops.
+			waitForReceived(t, srv, int64(i+1))
+		}
+	}
+	waitForReceived(t, srv, int64(len(stream)))
+
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(order)
+		mu.Unlock()
+		if n >= want {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Stop() // drains the decode pool before returning
+	peerTr.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	return order, decoded
+}
+
+func waitForReceived(t *testing.T, srv *Server, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if srv.Stats().BlocksReceived >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("server did not drain %d blocks in time", n)
+}
+
+// TestParallelDecodeMatchesSerial feeds the identical coded-block stream to
+// a synchronous server and to one with a 4-worker decode pool, under the
+// race detector in CI, and requires the same segments, the same original
+// bytes, and the same OnSegment completion order.
+func TestParallelDecodeMatchesSerial(t *testing.T) {
+	const numSegs, size, payloadLen = 12, 8, 256
+	originals, stream := buildSegmentStream(numSegs, size, payloadLen)
+
+	serialOrder, serial := runDecodeServer(t, 0, stream, numSegs, size)
+	parallelOrder, parallel := runDecodeServer(t, 4, stream, numSegs, size)
+
+	if len(serial) != numSegs {
+		t.Fatalf("serial server decoded %d/%d segments", len(serial), numSegs)
+	}
+	if len(parallel) != len(serial) {
+		t.Fatalf("parallel server decoded %d segments, serial %d", len(parallel), len(serial))
+	}
+	if len(serialOrder) != len(parallelOrder) {
+		t.Fatalf("delivery counts diverge: serial %d, parallel %d", len(serialOrder), len(parallelOrder))
+	}
+	for i := range serialOrder {
+		if serialOrder[i] != parallelOrder[i] {
+			t.Fatalf("delivery order diverges at %d: serial %v, parallel %v", i, serialOrder[i], parallelOrder[i])
+		}
+	}
+	for id, blocks := range serial {
+		want := originals[id]
+		pblocks := parallel[id]
+		for j := range want {
+			if !bytes.Equal(blocks[j], want[j]) {
+				t.Fatalf("serial decode of %v block %d diverges from original", id, j)
+			}
+			if !bytes.Equal(pblocks[j], want[j]) {
+				t.Fatalf("parallel decode of %v block %d diverges from original", id, j)
+			}
+		}
+	}
+}
+
+// TestDecodePoolDrainsOnStop enqueues decodes and immediately stops the
+// server: every segment that reached full rank must still be delivered.
+func TestDecodePoolDrainsOnStop(t *testing.T) {
+	const numSegs, size, payloadLen = 6, 8, 128
+	_, stream := buildSegmentStream(numSegs, size, payloadLen)
+
+	net := transport.NewNetwork()
+	srvTr := net.Join(1000)
+	peerTr := net.Join(1)
+	var mu sync.Mutex
+	var got int
+	srv, err := NewServer(srvTr, ServerConfig{
+		Peers:         []transport.NodeID{1},
+		SegmentSize:   size,
+		Seed:          1,
+		DecodeWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.OnSegment = func(id rlnc.SegmentID, blocks [][]byte) {
+		mu.Lock()
+		got++
+		mu.Unlock()
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i, cb := range stream {
+		if err := peerTr.Send(1000, &transport.Message{Type: transport.MsgBlock, Block: cb.Clone()}); err != nil {
+			t.Fatal(err)
+		}
+		if i%64 == 63 {
+			waitForReceived(t, srv, int64(i+1))
+		}
+	}
+	waitForReceived(t, srv, int64(len(stream)))
+	decodedByCounter := srv.Stats().DecodedSegments
+	srv.Stop()
+	peerTr.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if int64(got) != decodedByCounter {
+		t.Fatalf("delivered %d segments, counter says %d reached full rank", got, decodedByCounter)
+	}
+}

@@ -69,6 +69,14 @@ type ServerConfig struct {
 	// (Prometheus /metrics, JSON /debug/snapshot, pprof) on the given
 	// address for the server's lifetime. Use ":0" for an ephemeral port.
 	DebugAddr string
+	// DecodeWorkers moves the end-of-segment payload solve off the receive
+	// loop onto this many worker goroutines. Collections then defer all
+	// payload elimination (rlnc deferred decoders), so the per-block cost on
+	// the pull path drops to the rank update, and completed segments decode
+	// concurrently. OnSegment still fires in completion order. Zero keeps
+	// the synchronous in-loop decode. Rank accounting, feedback, and
+	// decoded bytes are identical either way.
+	DecodeWorkers int
 }
 
 func (c ServerConfig) validate() error {
@@ -81,6 +89,8 @@ func (c ServerConfig) validate() error {
 		return errors.New("live: negative SegmentSize")
 	case c.FinishedCap < 0:
 		return errors.New("live: negative FinishedCap")
+	case c.DecodeWorkers < 0:
+		return errors.New("live: negative DecodeWorkers")
 	}
 	return nil
 }
@@ -137,10 +147,18 @@ type Server struct {
 	firstSeen     map[rlnc.SegmentID]float64
 	obsRTT        *obs.Histogram
 	obsCollect    *obs.Histogram
+	obsDecode     *obs.Histogram
 	obsPending    *obs.Gauge
+	obsDecodeQ    *obs.Gauge
 	obsOutbox     *obs.Gauge
 	obsOpenSeries *obs.TimeSeries
 	debug         *obs.DebugServer
+
+	// pool is the decode worker pool (nil when DecodeWorkers == 0);
+	// decodeSeq numbers completed segments so the pool can restore
+	// completion order. Guarded by mu.
+	pool      *decodePool
+	decodeSeq uint64
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -177,7 +195,7 @@ func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
 		s.tracer = obs.NopTracer{}
 	}
 	if cfg.SegmentSize > 0 {
-		s.collector = peercore.NewCollector(peercore.CollectorConfig{SegmentSize: cfg.SegmentSize}, s.counters)
+		s.collector = peercore.NewCollector(s.collectorConfig(cfg.SegmentSize), s.counters)
 	}
 	s.reg = obs.NewRegistry(endpointLabel(tr.LocalID()))
 	s.reg.SetInfo("policy", policy.Name())
@@ -188,13 +206,25 @@ func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
 	}
 	s.obsRTT = s.reg.Histogram("pullRTT", obs.DelayBuckets())
 	s.obsCollect = s.reg.Histogram("collectionTime", obs.ExpBuckets(0.125, 2, 14))
+	s.obsDecode = s.reg.Histogram("decodeLatency", obs.ExpBuckets(1e-6, 4, 14))
 	s.obsPending = s.reg.Gauge("outstandingPulls")
+	s.obsDecodeQ = s.reg.Gauge("decodeQueueDepth")
 	s.obsOutbox = s.reg.Gauge("outboxDepth")
 	s.obsOpenSeries = s.reg.TimeSeries("openDecoders", obsSeriesCap)
 	if rt, ok := s.tracer.(*obs.RingTracer); ok {
 		s.reg.SetTracer(rt)
 	}
 	return s, nil
+}
+
+// collectorConfig builds the collection-state-machine config: with decode
+// workers, collections defer their payload solves so the receive loop only
+// pays for the rank update.
+func (s *Server) collectorConfig(segmentSize int) peercore.CollectorConfig {
+	return peercore.CollectorConfig{
+		SegmentSize:  segmentSize,
+		DeferPayload: s.cfg.DecodeWorkers > 0,
+	}
 }
 
 // Registry exposes the server's observability registry, for scraping it
@@ -220,6 +250,9 @@ func (s *Server) Start() error {
 	}
 	s.running = true
 	s.started = time.Now()
+	if s.cfg.DecodeWorkers > 0 {
+		s.pool = newDecodePool(s.cfg.DecodeWorkers, s.OnSegment, s.obsDecode, s.obsDecodeQ)
+	}
 	s.wg.Add(2)
 	go s.recvLoop()
 	go s.obsLoop()
@@ -250,6 +283,12 @@ func (s *Server) Stop() {
 	close(s.stop)
 	s.tr.Close()
 	s.wg.Wait()
+	if s.pool != nil {
+		// The receive loop has exited, so no further enqueues: drain every
+		// queued decode and deliver it before returning.
+		s.pool.close()
+		s.pool = nil
+	}
 	if s.debug != nil {
 		s.debug.Close() //nolint:errcheck // shutdown path
 		s.debug = nil
@@ -411,7 +450,7 @@ func (s *Server) receiveBlock(m *transport.Message) {
 		return
 	}
 	if s.collector == nil {
-		s.collector = peercore.NewCollector(peercore.CollectorConfig{SegmentSize: cb.SegmentSize()}, s.counters)
+		s.collector = peercore.NewCollector(s.collectorConfig(cb.SegmentSize()), s.counters)
 	}
 	if _, seen := s.firstSeen[cb.Seg]; !seen {
 		s.firstSeen[cb.Seg] = now
@@ -463,7 +502,22 @@ func (s *Server) receiveBlock(m *transport.Message) {
 		Seg: cb.Seg, Kind: obs.TraceDecoded, T: now,
 		Actor: uint64(s.tr.LocalID()), N: col.Rank(),
 	})
+	if s.pool != nil {
+		// Hand the solve to the worker pool. Finished + forgotten under the
+		// mutex first, so no later block can reach this collection: the pool
+		// owns it exclusively from here.
+		seq := s.decodeSeq
+		s.decodeSeq++
+		s.markFinished(cb.Seg)
+		s.collector.Forget(cb.Seg)
+		pool := s.pool
+		s.mu.Unlock()
+		pool.enqueue(seq, cb.Seg, col)
+		return
+	}
+	t0 := time.Now()
 	blocks, decErr := col.Decode()
+	s.obsDecode.Observe(time.Since(t0).Seconds())
 	s.markFinished(cb.Seg)
 	s.collector.Forget(cb.Seg)
 	onSegment := s.OnSegment

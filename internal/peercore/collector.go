@@ -14,6 +14,14 @@ type CollectorConfig struct {
 	// ignores payloads. The simulator's pooled ground-truth observer (the
 	// IndependentServers rank decoder) runs in this mode.
 	RankOnly bool
+	// DeferPayload opens payload-carrying collections with a deferred
+	// decoder: Receive performs only the rank-update coefficient
+	// elimination, and the O(s²·payloadLen) payload solve runs inside
+	// Decode. Innovation verdicts, ranks, and decoded bytes are identical;
+	// the cost just moves from the pull path to the (offloadable) decode
+	// call. Deferred collections hold pooled rows — call Release when a
+	// collection is discarded.
+	DeferPayload bool
 }
 
 // PullOutcome reports how a received block advanced a collection.
@@ -71,6 +79,11 @@ func (c *Collection) DecodedAt() float64 { return c.decodedAt }
 // Decode reconstructs the source blocks; valid only once Decoded.
 func (c *Collection) Decode() ([][]byte, error) { return c.dec.Decode() }
 
+// Release returns the collection's decoder storage to the slab free list
+// (meaningful for deferred collections; harmless otherwise). Call it after
+// the final Decode, once the collection has been forgotten.
+func (c *Collection) Release() { c.dec.Release() }
+
 // Collector is the server collection state machine: one Collection per
 // segment it has seen or been told about. Not safe for concurrent use;
 // drivers serialize access.
@@ -102,10 +115,13 @@ func (c *Collector) Open(seg rlnc.SegmentID, payloadLen int) *Collection {
 		if c.cfg.RankOnly {
 			payloadLen = 0
 		}
-		col = &Collection{
-			dec:        rlnc.NewDecoder(seg, c.cfg.SegmentSize, payloadLen),
-			payloadLen: payloadLen,
+		var dec *rlnc.Decoder
+		if c.cfg.DeferPayload && payloadLen > 0 {
+			dec = rlnc.NewDeferredDecoder(seg, c.cfg.SegmentSize, payloadLen)
+		} else {
+			dec = rlnc.NewDecoder(seg, c.cfg.SegmentSize, payloadLen)
 		}
+		col = &Collection{dec: dec, payloadLen: payloadLen}
 		c.segs[seg] = col
 	}
 	return col

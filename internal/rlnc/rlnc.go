@@ -15,7 +15,9 @@ import (
 	"fmt"
 
 	"p2pcollect/internal/gf256"
+	"p2pcollect/internal/gfmat"
 	"p2pcollect/internal/randx"
+	"p2pcollect/internal/slab"
 )
 
 // Common errors returned by the decoder.
@@ -122,12 +124,51 @@ func Recode(blocks []*CodedBlock, rng *randx.Rand) *CodedBlock {
 		panic("rlnc: Recode with no blocks")
 	}
 	first := blocks[0]
-	width := len(first.Coeffs)
-	hasPayload := first.Payload != nil
-	out := &CodedBlock{Seg: first.Seg, Coeffs: make([]byte, width)}
-	if hasPayload {
+	out := &CodedBlock{Seg: first.Seg, Coeffs: make([]byte, len(first.Coeffs))}
+	if first.Payload != nil {
 		out.Payload = make([]byte, len(first.Payload))
 	}
+	RecodeInto(out, blocks, rng)
+	return out
+}
+
+// RecodePooled is Recode with the output buffers drawn from the slab free
+// list. The caller owns the result; hand the buffers back with
+// ReleaseBlock when the block leaves circulation. The coefficient draw
+// order is identical to Recode, so seeded runs are unaffected by which
+// variant produced a block.
+func RecodePooled(blocks []*CodedBlock, rng *randx.Rand) *CodedBlock {
+	if len(blocks) == 0 {
+		panic("rlnc: Recode with no blocks")
+	}
+	first := blocks[0]
+	out := &CodedBlock{Seg: first.Seg, Coeffs: slab.Get(len(first.Coeffs))}
+	if first.Payload != nil {
+		out.Payload = slab.Get(len(first.Payload))
+	}
+	RecodeInto(out, blocks, rng)
+	return out
+}
+
+// RecodeInto recodes into a caller-provided block, allocating nothing. out
+// must carry Coeffs of the input width and, when the inputs have payloads,
+// a Payload of the input payload length (both are zeroed here); its Seg is
+// overwritten. This is the steady-state form: gossip and pull loops reuse
+// one output block per send.
+func RecodeInto(out *CodedBlock, blocks []*CodedBlock, rng *randx.Rand) {
+	if len(blocks) == 0 {
+		panic("rlnc: Recode with no blocks")
+	}
+	first := blocks[0]
+	width := len(first.Coeffs)
+	hasPayload := first.Payload != nil
+	if len(out.Coeffs) != width || (out.Payload != nil) != hasPayload ||
+		(hasPayload && len(out.Payload) != len(first.Payload)) {
+		panic("rlnc: RecodeInto output shape mismatch")
+	}
+	out.Seg = first.Seg
+	clear(out.Coeffs)
+	clear(out.Payload)
 	// Index of the block that gets a guaranteed non-zero coefficient.
 	anchor := rng.Intn(len(blocks))
 	for i, b := range blocks {
@@ -148,7 +189,21 @@ func Recode(blocks []*CodedBlock, rng *randx.Rand) *CodedBlock {
 			gf256.AddMulSlice(out.Payload, c, b.Payload)
 		}
 	}
-	return out
+}
+
+// ReleaseBlock hands a block's coefficient and payload buffers back to the
+// slab free list and clears them. Only call it when the block is leaving
+// circulation and nothing else aliases its buffers; when in doubt, skip the
+// release — a missed release is garbage-collected, a premature one corrupts
+// whatever still reads the buffer.
+func ReleaseBlock(b *CodedBlock) {
+	if b == nil {
+		return
+	}
+	slab.Put(b.Coeffs)
+	slab.Put(b.Payload)
+	b.Coeffs = nil
+	b.Payload = nil
 }
 
 // Decoder progressively reconstructs one segment from coded blocks. It keeps
@@ -165,6 +220,23 @@ type Decoder struct {
 	pivots     []int
 	coeffs     [][]byte
 	payloads   [][]byte
+
+	// Deferred mode: Add eliminates coefficients only (for the innovation
+	// check) and keeps raw copies of the accepted blocks; Decode solves the
+	// whole system in one batched augmented elimination. This moves the
+	// O(s²·payloadLen) payload work out of Add — off the receive path —
+	// while producing byte-identical originals (full-rank linear systems
+	// have a unique solution).
+	deferred    bool
+	rawCoeffs   [][]byte
+	rawPayloads [][]byte
+
+	// Reusable reduction buffers: a redundant Add reduces the candidate to
+	// zero in scratch and allocates nothing; an innovative Add promotes the
+	// scratch rows into the basis.
+	scratchC []byte
+	scratchP []byte
+	pooled   bool // all row storage comes from the slab free list
 }
 
 // NewDecoder returns a decoder for the given segment with segment size s.
@@ -176,6 +248,32 @@ func NewDecoder(seg SegmentID, size, payloadLen int) *Decoder {
 		panic("rlnc: negative payload length")
 	}
 	return &Decoder{seg: seg, size: size, payloadLen: payloadLen}
+}
+
+// NewDecoderPooled is NewDecoder with all row storage drawn from the slab
+// free list. Call Release when the decoder is dropped so the rows return to
+// the pool.
+func NewDecoderPooled(seg SegmentID, size, payloadLen int) *Decoder {
+	d := NewDecoder(seg, size, payloadLen)
+	d.pooled = true
+	return d
+}
+
+// NewDeferredDecoder returns a pooled decoder that postpones all payload
+// elimination to Decode: Add performs the rank-only coefficient reduction
+// (cheap, O(s²) per block) and stashes a raw copy of each innovative block;
+// Decode solves the accumulated s×s system against the s×payloadLen
+// right-hand side in one batched augmented elimination. Rank, Complete, and
+// the innovation verdicts match the eager decoder exactly, and Decode
+// returns byte-identical originals. payloadLen must be positive.
+func NewDeferredDecoder(seg SegmentID, size, payloadLen int) *Decoder {
+	if payloadLen <= 0 {
+		panic("rlnc: deferred decoder needs a payload")
+	}
+	d := NewDecoder(seg, size, payloadLen)
+	d.deferred = true
+	d.pooled = true
+	return d
 }
 
 // SegmentID returns the segment the decoder reconstructs.
@@ -206,14 +304,16 @@ func (d *Decoder) Add(b *CodedBlock) (bool, error) {
 	if d.Complete() {
 		return false, nil
 	}
-	v := append([]byte(nil), b.Coeffs...)
+	carryPayload := d.payloadLen > 0 && !d.deferred
+	v := d.scratchCoeffs()
+	copy(v, b.Coeffs)
 	var p []byte
-	if d.payloadLen > 0 {
-		p = append([]byte(nil), b.Payload...)
-	} else {
-		p = nil
+	if carryPayload {
+		p = d.scratchPayload()
+		copy(p, b.Payload)
 	}
-	// Reduce against the existing basis, carrying the payload along.
+	// Reduce against the existing basis, carrying the payload along (eager
+	// mode only; deferred mode reduces coefficients alone).
 	for idx, piv := range d.pivots {
 		if f := v[piv]; f != 0 {
 			gf256.AddMulSlice(v, f, d.coeffs[idx])
@@ -230,7 +330,7 @@ func (d *Decoder) Add(b *CodedBlock) (bool, error) {
 		}
 	}
 	if pivot < 0 {
-		return false, nil
+		return false, nil // scratch rows stay ours for the next Add
 	}
 	inv := gf256.Inv(v[pivot])
 	gf256.MulSlice(inv, v)
@@ -259,12 +359,90 @@ func (d *Decoder) Add(b *CodedBlock) (bool, error) {
 	d.coeffs = append(d.coeffs, nil)
 	copy(d.coeffs[pos+1:], d.coeffs[pos:])
 	d.coeffs[pos] = v
-	if d.payloadLen > 0 {
+	d.scratchC = nil // promoted into the basis
+	if carryPayload {
 		d.payloads = append(d.payloads, nil)
 		copy(d.payloads[pos+1:], d.payloads[pos:])
 		d.payloads[pos] = p
+		d.scratchP = nil
+	}
+	if d.deferred {
+		// Stash the untouched block for the batched end-of-segment solve.
+		d.rawCoeffs = append(d.rawCoeffs, slab.GetCopy(b.Coeffs))
+		d.rawPayloads = append(d.rawPayloads, slab.GetCopy(b.Payload))
 	}
 	return true, nil
+}
+
+// AddBatch offers a run of coded blocks to the decoder and returns how many
+// were innovative. It stops early once the segment is complete — remaining
+// blocks cannot add rank — or on the first structural error.
+func (d *Decoder) AddBatch(blocks []*CodedBlock) (int, error) {
+	innovative := 0
+	for _, b := range blocks {
+		if d.Complete() {
+			break
+		}
+		ok, err := d.Add(b)
+		if err != nil {
+			return innovative, err
+		}
+		if ok {
+			innovative++
+		}
+	}
+	return innovative, nil
+}
+
+func (d *Decoder) scratchCoeffs() []byte {
+	if d.scratchC == nil {
+		d.scratchC = d.newRow(d.size)
+	}
+	return d.scratchC[:d.size]
+}
+
+func (d *Decoder) scratchPayload() []byte {
+	if d.scratchP == nil {
+		d.scratchP = d.newRow(d.payloadLen)
+	}
+	return d.scratchP[:d.payloadLen]
+}
+
+func (d *Decoder) newRow(n int) []byte {
+	if d.pooled {
+		return slab.Get(n)
+	}
+	return make([]byte, n)
+}
+
+// Release hands the decoder's row storage back to the slab free list (for
+// pooled decoders) and empties the decoder. The caller must not retain
+// slices previously returned by a deferred Decode's internal buffers; the
+// decoded originals themselves are freshly allocated and stay valid.
+func (d *Decoder) Release() {
+	if d.pooled {
+		for _, r := range d.coeffs {
+			slab.Put(r)
+		}
+		for _, r := range d.payloads {
+			slab.Put(r)
+		}
+		for _, r := range d.rawCoeffs {
+			slab.Put(r)
+		}
+		for _, r := range d.rawPayloads {
+			slab.Put(r)
+		}
+		slab.Put(d.scratchC)
+		slab.Put(d.scratchP)
+	}
+	d.pivots = nil
+	d.coeffs = nil
+	d.payloads = nil
+	d.rawCoeffs = nil
+	d.rawPayloads = nil
+	d.scratchC = nil
+	d.scratchP = nil
 }
 
 // Decode returns the s original blocks in order. It fails with
@@ -277,11 +455,34 @@ func (d *Decoder) Decode() ([][]byte, error) {
 	if d.payloadLen == 0 {
 		return nil, ErrNoPayload
 	}
+	if d.deferred {
+		return d.decodeDeferred()
+	}
 	// At full rank the reduced form is the identity, so rows are already the
 	// originals ordered by pivot.
 	out := make([][]byte, d.size)
 	for idx, piv := range d.pivots {
 		out[piv] = append([]byte(nil), d.payloads[idx]...)
+	}
+	return out, nil
+}
+
+// decodeDeferred solves coeffs·X = payloads over the s stashed raw blocks
+// in one batched augmented elimination. The system has full rank by
+// construction (only innovative blocks were stashed), so the solution is
+// unique and equals what eager per-block elimination would have produced.
+func (d *Decoder) decodeDeferred() ([][]byte, error) {
+	m := gfmat.FromRows(d.rawCoeffs)
+	rhs := gfmat.FromRows(d.rawPayloads)
+	x, err := m.Solve(rhs)
+	if err != nil {
+		// Unreachable when the bookkeeping is correct; surface it rather
+		// than panic so a corrupted stream degrades gracefully.
+		return nil, fmt.Errorf("rlnc: deferred decode: %w", err)
+	}
+	out := make([][]byte, d.size)
+	for i := range out {
+		out[i] = append([]byte(nil), x.Row(i)...)
 	}
 	return out, nil
 }

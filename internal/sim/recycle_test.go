@@ -1,0 +1,36 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"p2pcollect/internal/slab"
+)
+
+// TestPoisonedSlabDoesNotPerturbRun is the end-to-end use-after-release
+// audit for the recycling event loop: with poison-on-release enabled, any
+// block buffer handed back to the slab while something still reads it
+// (holdings, pending TTL events, in-flight pulls) would scramble ranks and
+// counters. A seeded run must therefore produce the identical Result with
+// poisoning on and off.
+func TestPoisonedSlabDoesNotPerturbRun(t *testing.T) {
+	cfg := testConfig()
+	cfg.ChurnMeanLifetime = 6 // exercise departures and Clear under poison
+	cfg.ServerFeedback = true // and the DropSegment purge path
+
+	clean, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slab.SetPoison(true)
+	defer slab.SetPoison(false)
+	poisoned, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(clean, poisoned) {
+		t.Fatalf("poisoning the slab changed a seeded run — a recycled buffer is still referenced\nclean:    %+v\npoisoned: %+v", clean, poisoned)
+	}
+}

@@ -29,6 +29,7 @@ package p2pcollect
 
 import (
 	"p2pcollect/internal/analysis"
+	"p2pcollect/internal/gf256"
 	"p2pcollect/internal/live"
 	"p2pcollect/internal/obs"
 	"p2pcollect/internal/ode"
@@ -146,6 +147,14 @@ func NewNode(tr Transport, cfg NodeConfig) (*Node, error) { return live.NewNode(
 
 // NewServer builds a live logging server over the given transport.
 func NewServer(tr Transport, cfg ServerConfig) (*Server, error) { return live.NewServer(tr, cfg) }
+
+// CodingKernel reports which GF(2^8) slice-kernel implementation this build
+// selected: "ssse3" (PSHUFB vector assembly on amd64 CPUs that support it),
+// "nibble" (portable word-at-a-time nibble tables), or "ref" (the scalar
+// reference build, selected with -tags gf256ref). All coding throughput —
+// recoding on peers, elimination and decoding on servers — runs on these
+// kernels.
+func CodingKernel() string { return gf256.Kernel() }
 
 // NewTCPTransport starts a TCP transport for id on addr (":0" for an
 // ephemeral port) with an address book mapping node IDs to addresses and
