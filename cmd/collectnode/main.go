@@ -58,6 +58,9 @@ func run(args []string) error {
 		bufferCap     = fs.Int("buffer", 512, "buffer capacity in blocks")
 		pullRate      = fs.Float64("pullrate", 20, "server pulls per second")
 		decodeWorkers = fs.Int("decode-workers", 0, "server mode: decode completed segments on this many workers (0 = synchronous)")
+		shards        = fs.Int("shards", 0, "server mode: total shard count of the fleet this server belongs to (0 or 1 = standalone)")
+		shardID       = fs.Int("shard-id", 0, "server mode: this server's shard index in [0, shards)")
+		shardBook     = fs.String("shard-book", "", "server mode: shardID=nodeID,... mapping every fleet shard to its transport id (addresses come from -book)")
 		seed          = fs.Int64("seed", time.Now().UnixNano(), "random seed")
 		outPath       = fs.String("out", "", "server mode: append recovered records to this CSV file")
 		statsAddr     = fs.String("stats-addr", "", "serve live JSON stats over HTTP on this address (e.g. 127.0.0.1:8080)")
@@ -131,13 +134,26 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("-peers: %w", err)
 		}
-		srv, err := p2pcollect.NewServer(tr, p2pcollect.ServerConfig{
+		srvCfg := p2pcollect.ServerConfig{
 			PullRate:      *pullRate,
 			Peers:         ids,
 			Seed:          *seed,
 			DebugAddr:     *debugAddr,
 			DecodeWorkers: *decodeWorkers,
-		})
+		}
+		if *shards > 1 {
+			sp, err := parseShardBook(*shardBook)
+			if err != nil {
+				return fmt.Errorf("-shard-book: %w", err)
+			}
+			srvCfg.Shards = *shards
+			srvCfg.ShardID = *shardID
+			srvCfg.ShardPeers = sp
+			// Each process runs its own journal: it dedups local decodes;
+			// cross-process dedup rides on the fleet's completion notices.
+			srvCfg.Journal = p2pcollect.NewDeliveryJournal(0)
+		}
+		srv, err := p2pcollect.NewServer(tr, srvCfg)
 		if err != nil {
 			return err
 		}
@@ -228,6 +244,30 @@ func parseBook(s string) (map[p2pcollect.NodeID]string, error) {
 			return nil, fmt.Errorf("bad book id %q: %w", id, err)
 		}
 		book[p2pcollect.NodeID(n)] = addr
+	}
+	return book, nil
+}
+
+// parseShardBook parses "0=3,1=4" into a shard-index → node-ID map.
+func parseShardBook(s string) (map[int]p2pcollect.NodeID, error) {
+	if s == "" {
+		return nil, fmt.Errorf("a fleet server needs -shard-book")
+	}
+	book := make(map[int]p2pcollect.NodeID)
+	for _, entry := range strings.Split(s, ",") {
+		sid, nid, ok := strings.Cut(entry, "=")
+		if !ok {
+			return nil, fmt.Errorf("bad entry %q (want shardID=nodeID)", entry)
+		}
+		si, err := strconv.Atoi(strings.TrimSpace(sid))
+		if err != nil {
+			return nil, fmt.Errorf("bad shard id %q: %w", sid, err)
+		}
+		ni, err := strconv.ParseUint(strings.TrimSpace(nid), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad node id %q: %w", nid, err)
+		}
+		book[si] = p2pcollect.NodeID(ni)
 	}
 	return book, nil
 }

@@ -1,4 +1,4 @@
-package live
+package collect
 
 import (
 	"sync"
@@ -10,12 +10,13 @@ import (
 )
 
 // decodePool runs the expensive end-of-segment payload solves on a bounded
-// set of workers, off the server's pull/receive path. The server enqueues a
-// completed collection (already forgotten from the collector and marked
-// finished, so no further blocks can reach it — the pool owns it
-// exclusively); a worker runs the deferred batched solve; a single delivery
-// goroutine replays OnSegment callbacks in completion order, so observers
-// see exactly the sequence a synchronous server would have produced.
+// set of workers, off the service's driver (the live server's pull/receive
+// path). The service enqueues a completed collection (already forgotten
+// from the store and marked finished, so no further blocks can reach it —
+// the pool owns it exclusively); a worker runs the deferred batched solve;
+// a single delivery goroutine replays deliver callbacks in completion
+// order, so observers see exactly the sequence a synchronous service would
+// have produced.
 type decodePool struct {
 	jobs    chan decodeJob
 	results chan decodeResult
@@ -30,7 +31,7 @@ type decodePool struct {
 }
 
 type decodeJob struct {
-	seq uint64 // completion order assigned under the server mutex
+	seq uint64 // completion order assigned under the driver's serialization
 	seg rlnc.SegmentID
 	col *peercore.Collection
 }
@@ -44,7 +45,7 @@ type decodeResult struct {
 
 // newDecodePool starts workers goroutines plus the delivery goroutine.
 // deliver runs on the delivery goroutine, in ascending seq order, only for
-// successful decodes.
+// successful decodes. latency and queue may be nil.
 func newDecodePool(workers int, deliver func(rlnc.SegmentID, [][]byte), latency *obs.Histogram, queue *obs.Gauge) *decodePool {
 	p := &decodePool{
 		// A buffer of a few jobs per worker absorbs decode bursts (several
@@ -67,9 +68,11 @@ func newDecodePool(workers int, deliver func(rlnc.SegmentID, [][]byte), latency 
 }
 
 // enqueue hands a completed collection to the pool. The caller must have
-// removed it from the collector first.
+// removed it from the store first.
 func (p *decodePool) enqueue(seq uint64, seg rlnc.SegmentID, col *peercore.Collection) {
-	p.obsQueue.Add(1)
+	if p.obsQueue != nil {
+		p.obsQueue.Add(1)
+	}
 	p.jobs <- decodeJob{seq: seq, seg: seg, col: col}
 }
 
@@ -88,7 +91,9 @@ func (p *decodePool) worker() {
 		t0 := time.Now()
 		blocks, err := job.col.Decode()
 		job.col.Release()
-		p.obsLatency.Observe(time.Since(t0).Seconds())
+		if p.obsLatency != nil {
+			p.obsLatency.Observe(time.Since(t0).Seconds())
+		}
 		p.results <- decodeResult{seq: job.seq, seg: job.seg, blocks: blocks, err: err}
 	}
 }
@@ -108,7 +113,9 @@ func (p *decodePool) deliveryLoop() {
 			}
 			delete(held, next)
 			next++
-			p.obsQueue.Add(-1)
+			if p.obsQueue != nil {
+				p.obsQueue.Add(-1)
+			}
 			if h.err == nil && p.deliver != nil {
 				p.deliver(h.seg, h.blocks)
 			}

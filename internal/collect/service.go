@@ -1,0 +1,358 @@
+// Package collect is the transport-agnostic collection service: the
+// per-segment decoder lifecycle, pull-policy feedback, and delivery
+// sequencing that used to live inside the live server's receive loop.
+// A driver (internal/live.Server, or a test) owns the clock, the wire, and
+// a serialization lock; the service owns what happens to a coded block
+// once it has arrived. Segment state lives behind the store.Store seam.
+//
+// Concurrency contract: all Service methods except Start/Close must be
+// called by one driver at a time (the live server calls them under its
+// mutex). BlockResult.Flush closures must run after the driver releases
+// its lock — they deliver segments and may block on the decode pool.
+package collect
+
+import (
+	"errors"
+	"time"
+
+	"p2pcollect/internal/collect/store"
+	"p2pcollect/internal/metrics"
+	"p2pcollect/internal/obs"
+	"p2pcollect/internal/peercore"
+	"p2pcollect/internal/pullsched"
+	"p2pcollect/internal/rlnc"
+)
+
+// Pull-feedback outcome counters. Every policy.Feedback call is classified
+// into exactly one bucket, so the exposition layer shows how the server's
+// pull budget is spent: useful (rank growth), redundant (finished segment or
+// non-innovative block), or empty (peer had nothing).
+const (
+	fbUseful = iota
+	fbRedundant
+	fbEmpty
+
+	numFeedbackCounters
+)
+
+var feedbackCounterNames = [numFeedbackCounters]string{
+	fbUseful:    "pullschedFeedbackUseful",
+	fbRedundant: "pullschedFeedbackRedundant",
+	fbEmpty:     "pullschedFeedbackEmpty",
+}
+
+// Config parameterizes a collection service.
+type Config struct {
+	// SegmentSize is s; zero infers it from the first block (ignored when
+	// Store is supplied).
+	SegmentSize int
+	// FinishedCap bounds the completed-segment memory (ignored when Store
+	// is supplied). Zero selects store.DefaultFinishedCap.
+	FinishedCap int
+	// DecodeWorkers offloads payload solves onto this many workers; the
+	// store then defers payload elimination. Zero decodes synchronously
+	// inside HandleBlock (under the driver's lock), as the original server
+	// did.
+	DecodeWorkers int
+	// Policy schedules pulls; nil selects pullsched.Blind. The service
+	// forwards the driver's serialization — policies are not thread-safe.
+	Policy pullsched.Policy
+	// Store overrides the segment-state backend; nil builds an in-memory
+	// store from SegmentSize/FinishedCap/DecodeWorkers/Sink.
+	Store store.Store
+	// Sink receives the collector's protocol events (only used when the
+	// service builds its own store).
+	Sink peercore.EventSink
+	// Owns, when set, restricts the policy's segment universe: feedback and
+	// inventory for segments outside it are withheld from the policy, and
+	// HandleBlock reports such blocks as misrouted. Nil means the service
+	// owns every segment (the single-server deployment).
+	Owns func(rlnc.SegmentID) bool
+	// Gate, when set, admits a decoded segment to delivery; a false return
+	// suppresses the deliver callback (the segment is still marked
+	// finished). Fleet shards point this at a shared delivery journal so a
+	// segment decoded by several shards is delivered exactly once.
+	Gate func(rlnc.SegmentID) bool
+	// Tracer receives segment-lifecycle milestones; nil disables tracing.
+	Tracer obs.Tracer
+	// Actor identifies this service in trace events.
+	Actor uint64
+
+	// Optional instruments; nil disables each.
+	CollectTime   *obs.Histogram // first block → decode, driver-clock seconds
+	DecodeLatency *obs.Histogram // payload-solve wall seconds
+	DecodeQueue   *obs.Gauge     // decode-pool backlog
+}
+
+// BlockResult reports what one received block did.
+type BlockResult struct {
+	// Outcome is the collection state machine's verdict (zero-valued when
+	// Finished or Rejected).
+	Outcome peercore.PullOutcome
+	// Col is the block's collection, valid until the driver releases its
+	// lock (nil when Finished or Rejected). Fleet drivers recode exchange
+	// blocks out of it.
+	Col *peercore.Collection
+	// Owned reports whether the segment is in this service's universe.
+	Owned bool
+	// Finished: the segment was already completed; the block was dropped.
+	Finished bool
+	// Rejected: the block was malformed and no state moved.
+	Rejected bool
+	// Flush, when non-nil, must be invoked exactly once after the driver
+	// releases its lock: it delivers the decoded segment (directly or via
+	// the decode pool, whose backpressure may block).
+	Flush func()
+}
+
+// Service is one collection endpoint's protocol brain.
+type Service struct {
+	cfg    Config
+	policy pullsched.Policy
+	st     store.Store
+	tracer obs.Tracer
+
+	fb        *metrics.CounterSet
+	firstSeen map[rlnc.SegmentID]float64
+	redundant int64
+
+	deliver   func(seg rlnc.SegmentID, blocks [][]byte)
+	pool      *decodePool
+	decodeSeq uint64
+	started   bool
+}
+
+// New builds a collection service.
+func New(cfg Config) (*Service, error) {
+	switch {
+	case cfg.SegmentSize < 0:
+		return nil, errors.New("collect: negative SegmentSize")
+	case cfg.FinishedCap < 0:
+		return nil, errors.New("collect: negative FinishedCap")
+	case cfg.DecodeWorkers < 0:
+		return nil, errors.New("collect: negative DecodeWorkers")
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = pullsched.Blind{}
+	}
+	st := cfg.Store
+	if st == nil {
+		var err error
+		st, err = store.NewMemory(store.MemoryConfig{
+			SegmentSize:  cfg.SegmentSize,
+			FinishedCap:  cfg.FinishedCap,
+			DeferPayload: cfg.DecodeWorkers > 0,
+			Sink:         cfg.Sink,
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	tracer := cfg.Tracer
+	if tracer == nil {
+		tracer = obs.NopTracer{}
+	}
+	return &Service{
+		cfg:       cfg,
+		policy:    policy,
+		st:        st,
+		tracer:    tracer,
+		fb:        metrics.NewCounterSet(feedbackCounterNames[:]),
+		firstSeen: make(map[rlnc.SegmentID]float64),
+	}, nil
+}
+
+// Start fixes the delivery callback and spins up the decode pool if
+// configured. Call before the driver's loops run.
+func (s *Service) Start(deliver func(seg rlnc.SegmentID, blocks [][]byte)) {
+	s.deliver = deliver
+	s.started = true
+	if s.cfg.DecodeWorkers > 0 {
+		s.pool = newDecodePool(s.cfg.DecodeWorkers, deliver, s.cfg.DecodeLatency, s.cfg.DecodeQueue)
+	}
+}
+
+// Close drains the decode pool (delivering everything queued) and releases
+// the store. The driver must have stopped issuing Handle calls.
+func (s *Service) Close() {
+	if s.pool != nil {
+		s.pool.close()
+		s.pool = nil
+	}
+	s.st.Close() //nolint:errcheck // in-memory store cannot fail
+}
+
+// Policy returns the service's pull policy.
+func (s *Service) Policy() pullsched.Policy { return s.policy }
+
+// Store returns the service's segment-state backend.
+func (s *Service) Store() store.Store { return s.st }
+
+// OpenCount returns how many collections are in progress.
+func (s *Service) OpenCount() int { return s.st.OpenCount() }
+
+// Redundant returns the count of blocks that advanced nothing: finished-
+// segment, malformed, or non-innovative.
+func (s *Service) Redundant() int64 { return s.redundant }
+
+// RangeFeedback visits the pull-feedback outcome counters (concurrency-safe;
+// registries scrape this).
+func (s *Service) RangeFeedback(f func(name string, v int64)) { s.fb.Range(f) }
+
+// Owns reports whether the segment is in this service's universe.
+func (s *Service) Owns(seg rlnc.SegmentID) bool {
+	return s.cfg.Owns == nil || s.cfg.Owns(seg)
+}
+
+// Choose asks the policy for the next pull decision.
+func (s *Service) Choose(now float64, env pullsched.Env) (pullsched.Decision, bool) {
+	return s.policy.Choose(now, env)
+}
+
+// HandleEmpty feeds an empty pull reply to the policy.
+func (s *Service) HandleEmpty(now float64, from pullsched.PeerRef) {
+	s.fb.Add(fbEmpty, 1)
+	s.policy.Feedback(pullsched.Feedback{Peer: from, Time: now, Empty: true})
+}
+
+// HandleInventory forwards a peer's inventory to the policy, filtered to
+// the service's segment universe.
+func (s *Service) HandleInventory(now float64, from pullsched.PeerRef, inv []pullsched.InventoryEntry) {
+	if s.cfg.Owns != nil {
+		owned := make([]pullsched.InventoryEntry, 0, len(inv))
+		for _, e := range inv {
+			if s.cfg.Owns(e.Seg) {
+				owned = append(owned, e)
+			}
+		}
+		inv = owned
+	}
+	s.policy.ObserveInventory(now, from, inv)
+}
+
+// HandleBlock runs one received block through the collection state machine.
+// pulled distinguishes pull replies (which train the policy and close pull
+// accounting) from side-channel blocks such as fleet exchange traffic
+// (which only feed the decoder). The caller must run the returned Flush,
+// if any, after releasing its lock.
+func (s *Service) HandleBlock(now float64, from pullsched.PeerRef, cb *rlnc.CodedBlock, pulled bool) BlockResult {
+	res := BlockResult{Owned: s.Owns(cb.Seg)}
+	if s.st.Finished(cb.Seg) {
+		s.redundant++
+		if pulled {
+			s.fb.Add(fbRedundant, 1)
+			if res.Owned {
+				s.policy.Feedback(pullsched.Feedback{Peer: from, Time: now, Seg: cb.Seg, Done: true})
+			}
+		}
+		res.Finished = true
+		return res
+	}
+	if _, seen := s.firstSeen[cb.Seg]; !seen {
+		s.firstSeen[cb.Seg] = now
+	}
+	out, col, err := s.st.Receive(now, cb)
+	if err != nil {
+		s.redundant++
+		if pulled {
+			s.fb.Add(fbRedundant, 1)
+		}
+		res.Rejected = true
+		return res
+	}
+	res.Outcome, res.Col = out, col
+	if out.Innovative {
+		if pulled {
+			s.fb.Add(fbUseful, 1)
+		}
+		s.tracer.Trace(obs.TraceEvent{
+			Seg: cb.Seg, Kind: obs.TraceServerRank, T: now,
+			Actor: s.cfg.Actor, N: col.Rank(),
+		})
+	} else if pulled {
+		s.fb.Add(fbRedundant, 1)
+	}
+	if out.Delivered {
+		s.tracer.Trace(obs.TraceEvent{
+			Seg: cb.Seg, Kind: obs.TraceDelivered, T: now,
+			Actor: s.cfg.Actor, N: col.State(),
+		})
+	}
+	if pulled && res.Owned {
+		s.policy.Feedback(pullsched.Feedback{
+			Peer:    from,
+			Time:    now,
+			Seg:     cb.Seg,
+			Useful:  out.Innovative,
+			Done:    out.Decoded,
+			Deficit: col.RankDeficit(),
+		})
+	}
+	if !out.Innovative {
+		s.redundant++
+		return res
+	}
+	if !out.Decoded {
+		return res
+	}
+	if t0, ok := s.firstSeen[cb.Seg]; ok {
+		delete(s.firstSeen, cb.Seg)
+		if s.cfg.CollectTime != nil {
+			s.cfg.CollectTime.Observe(now - t0)
+		}
+	}
+	s.tracer.Trace(obs.TraceEvent{
+		Seg: cb.Seg, Kind: obs.TraceDecoded, T: now,
+		Actor: s.cfg.Actor, N: col.Rank(),
+	})
+	res.Flush = s.complete(cb.Seg, col)
+	return res
+}
+
+// complete retires a full-rank collection: finished + forgotten first (so
+// no later block can reach it), then delivery — via the pool, or decoded
+// synchronously here. Returns the deferred delivery step, nil when the
+// gate (or a solve error) suppressed it.
+func (s *Service) complete(seg rlnc.SegmentID, col *peercore.Collection) func() {
+	s.st.MarkFinished(seg)
+	s.st.Forget(seg)
+	if s.cfg.Gate != nil && !s.cfg.Gate(seg) {
+		// Another shard already delivered this segment; drop the duplicate
+		// and return the rows.
+		col.Release()
+		return nil
+	}
+	if s.pool != nil {
+		seq := s.decodeSeq
+		s.decodeSeq++
+		pool := s.pool
+		return func() { pool.enqueue(seq, seg, col) }
+	}
+	t0 := time.Now()
+	blocks, decErr := col.Decode()
+	if s.cfg.DecodeLatency != nil {
+		s.cfg.DecodeLatency.Observe(time.Since(t0).Seconds())
+	}
+	deliver := s.deliver
+	if decErr != nil || deliver == nil {
+		return nil
+	}
+	return func() { deliver(seg, blocks) }
+}
+
+// FinishRemote marks a segment completed on another shard's authority:
+// its open collection (if any) is released and forgotten, and future
+// blocks for it are dropped as redundant. Reports whether this was news.
+func (s *Service) FinishRemote(seg rlnc.SegmentID) bool {
+	if s.st.Finished(seg) {
+		return false
+	}
+	if col := s.st.Collection(seg); col != nil {
+		col.Release()
+		s.st.Forget(seg)
+	}
+	delete(s.firstSeen, seg)
+	s.st.MarkFinished(seg)
+	return true
+}

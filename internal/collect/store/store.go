@@ -1,0 +1,187 @@
+// Package store owns a collection service's per-segment state — the rank
+// decoders, the payload rows, and the bounded memory of completed segments —
+// behind a small interface. The collection service (internal/collect) is
+// written against Store, so the state's home is swappable: the Memory
+// implementation here keeps everything in RAM exactly as the original
+// monolithic server did, and a future write-ahead-log implementation can
+// slot in underneath without the service or the transport layers noticing
+// (ROADMAP item 4).
+package store
+
+import (
+	"errors"
+
+	"p2pcollect/internal/peercore"
+	"p2pcollect/internal/rlnc"
+)
+
+// DefaultFinishedCap bounds a store's memory of completed segments when the
+// config leaves FinishedCap zero.
+const DefaultFinishedCap = 1 << 16
+
+// Store is the collection-state seam: every per-segment decoder and the
+// completed-segment memory live behind it. Implementations are driver-
+// serialized (the collection service calls them under its driver's lock),
+// matching peercore's concurrency contract.
+type Store interface {
+	// SegmentSize returns s, or 0 while it is still to be inferred from the
+	// first block.
+	SegmentSize() int
+	// Receive runs one coded block through the collection state machine,
+	// opening the segment's collection lazily. The first block fixes the
+	// segment size when the store was built without one.
+	Receive(now float64, cb *rlnc.CodedBlock) (peercore.PullOutcome, *peercore.Collection, error)
+	// Collection returns a segment's open collection, or nil.
+	Collection(seg rlnc.SegmentID) *peercore.Collection
+	// OpenCount returns how many collections are currently open.
+	OpenCount() int
+	// Forget discards a segment's open collection without releasing its
+	// storage (callers that hand the collection elsewhere — e.g. a decode
+	// pool — own the release).
+	Forget(seg rlnc.SegmentID)
+	// MarkFinished records a completed segment in the bounded finished set,
+	// evicting the oldest entry when full.
+	MarkFinished(seg rlnc.SegmentID)
+	// Finished reports whether the segment is in the finished set.
+	Finished(seg rlnc.SegmentID) bool
+	// Close releases every open collection's storage.
+	Close() error
+}
+
+// MemoryConfig parameterizes an in-memory store.
+type MemoryConfig struct {
+	// SegmentSize is s; zero infers it from the first received block.
+	SegmentSize int
+	// FinishedCap bounds the completed-segment memory (oldest forgotten
+	// first; a forgotten segment would merely be decoded again). Zero
+	// selects DefaultFinishedCap.
+	FinishedCap int
+	// DeferPayload opens collections with deferred decoders (payload solve
+	// at Decode, pooled rows — see peercore.CollectorConfig).
+	DeferPayload bool
+	// Sink receives the collector's protocol events; nil discards them.
+	Sink peercore.EventSink
+}
+
+// Memory is the in-RAM Store: a lazy peercore.Collector plus a fixed-slot
+// eviction ring for the finished set, so unbounded decode streams never
+// grow — or pin — a backing array.
+type Memory struct {
+	cfg       MemoryConfig
+	collector *peercore.Collector // nil until the segment size is known
+
+	finished     map[rlnc.SegmentID]bool
+	finishedRing []rlnc.SegmentID
+	ringHead     int
+	ringSize     int
+}
+
+var _ Store = (*Memory)(nil)
+
+// NewMemory builds an empty in-memory store.
+func NewMemory(cfg MemoryConfig) (*Memory, error) {
+	if cfg.SegmentSize < 0 {
+		return nil, errors.New("store: negative SegmentSize")
+	}
+	if cfg.FinishedCap < 0 {
+		return nil, errors.New("store: negative FinishedCap")
+	}
+	if cfg.FinishedCap == 0 {
+		cfg.FinishedCap = DefaultFinishedCap
+	}
+	if cfg.Sink == nil {
+		cfg.Sink = peercore.NopSink{}
+	}
+	m := &Memory{cfg: cfg, finished: make(map[rlnc.SegmentID]bool)}
+	if cfg.SegmentSize > 0 {
+		m.collector = m.newCollector(cfg.SegmentSize)
+	}
+	return m, nil
+}
+
+func (m *Memory) newCollector(segmentSize int) *peercore.Collector {
+	return peercore.NewCollector(peercore.CollectorConfig{
+		SegmentSize:  segmentSize,
+		DeferPayload: m.cfg.DeferPayload,
+	}, m.cfg.Sink)
+}
+
+// SegmentSize implements Store.
+func (m *Memory) SegmentSize() int {
+	if m.collector == nil {
+		return 0
+	}
+	return m.cfg.SegmentSize
+}
+
+// Receive implements Store.
+func (m *Memory) Receive(now float64, cb *rlnc.CodedBlock) (peercore.PullOutcome, *peercore.Collection, error) {
+	if m.collector == nil {
+		m.cfg.SegmentSize = cb.SegmentSize()
+		m.collector = m.newCollector(m.cfg.SegmentSize)
+	}
+	return m.collector.Receive(now, cb)
+}
+
+// Collection implements Store.
+func (m *Memory) Collection(seg rlnc.SegmentID) *peercore.Collection {
+	if m.collector == nil {
+		return nil
+	}
+	return m.collector.Collection(seg)
+}
+
+// OpenCount implements Store.
+func (m *Memory) OpenCount() int {
+	if m.collector == nil {
+		return 0
+	}
+	return m.collector.OpenCount()
+}
+
+// Forget implements Store.
+func (m *Memory) Forget(seg rlnc.SegmentID) {
+	if m.collector != nil {
+		m.collector.Forget(seg)
+	}
+}
+
+// Finished implements Store.
+func (m *Memory) Finished(seg rlnc.SegmentID) bool { return m.finished[seg] }
+
+// MarkFinished implements Store.
+func (m *Memory) MarkFinished(seg rlnc.SegmentID) {
+	if m.finishedRing == nil {
+		m.finishedRing = make([]rlnc.SegmentID, m.cfg.FinishedCap)
+	}
+	if m.ringSize == len(m.finishedRing) {
+		delete(m.finished, m.finishedRing[m.ringHead])
+		m.ringHead = (m.ringHead + 1) % len(m.finishedRing)
+		m.ringSize--
+	}
+	m.finishedRing[(m.ringHead+m.ringSize)%len(m.finishedRing)] = seg
+	m.ringSize++
+	m.finished[seg] = true
+}
+
+// FinishedCount returns how many completed segments the store remembers.
+func (m *Memory) FinishedCount() int { return len(m.finished) }
+
+// Close implements Store: every open collection's pooled rows go back to
+// the slab free list.
+func (m *Memory) Close() error {
+	if m.collector == nil {
+		return nil
+	}
+	open := make([]rlnc.SegmentID, 0, m.collector.OpenCount())
+	m.collector.Range(func(seg rlnc.SegmentID, _ *peercore.Collection) {
+		open = append(open, seg)
+	})
+	for _, seg := range open {
+		if col := m.collector.Collection(seg); col != nil {
+			col.Release()
+		}
+		m.collector.Forget(seg)
+	}
+	return nil
+}

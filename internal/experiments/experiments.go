@@ -786,6 +786,7 @@ func All(opt Options, w io.Writer) error {
 		{"codingcost", CodingCostTable},
 		{"pullsched", PullPolicyTable},
 		{"obs", ObsTable},
+		{"fleet", FleetScalingTable},
 	}
 	for _, g := range gens {
 		tbl, err := g.fn(opt)
@@ -836,6 +837,8 @@ func ByName(name string) (func(Options) (*metrics.Table, error), bool) {
 		return PullPolicyTable, true
 	case "obs", "a7":
 		return ObsTable, true
+	case "fleet", "a8":
+		return FleetScalingTable, true
 	default:
 		return nil, false
 	}

@@ -14,7 +14,7 @@ func tinyOptions() Options {
 }
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "overhead", "t1", "s1", "t2", "baseline", "t3", "drain", "t4", "ablation", "a1", "feedback", "a2", "transient", "t5", "servers", "a3", "flashjoin", "t6", "topology", "a4", "codingcost", "a5", "pullsched", "a6", "obs", "a7"} {
+	for _, name := range []string{"fig3", "fig4", "fig5", "fig6", "overhead", "t1", "s1", "t2", "baseline", "t3", "drain", "t4", "ablation", "a1", "feedback", "a2", "transient", "t5", "servers", "a3", "flashjoin", "t6", "topology", "a4", "codingcost", "a5", "pullsched", "a6", "obs", "a7", "fleet", "a8"} {
 		if _, ok := ByName(name); !ok {
 			t.Errorf("ByName(%q) = false", name)
 		}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFleetScalingTableShape smoke-tests A8 in Quick mode: the table has
+// every series, and the journal's exactly-once rule holds (zero duplicate
+// deliveries). The ≥3x speedup claim is only asserted by the full-length
+// run (cmd/collectsim -experiment fleet); the quick windows are too short
+// for a stable ratio.
+func TestFleetScalingTableShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots live wall-clock clusters")
+	}
+	tbl, err := FleetScalingTable(Options{Seed: 7, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tbl.Render()
+	for _, want := range []string{"delivered segments/s", "speedup vs 1 shard", "exchange blocks/s", "duplicate deliveries"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing series %q in:\n%s", want, out)
+		}
+	}
+	for _, s := range tbl.Series() {
+		if s.Name != "duplicate deliveries" {
+			continue
+		}
+		for _, p := range s.Points {
+			if p.Y != 0 {
+				t.Errorf("%v shards: %v duplicate deliveries, want 0", p.X, p.Y)
+			}
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package fleet
+
+import (
+	"sync"
+
+	"p2pcollect/internal/rlnc"
+)
+
+// DefaultJournalCap bounds the journal's memory of delivered segments.
+const DefaultJournalCap = 1 << 20
+
+// Journal is the fleet's coordinator-free delivery dedup: a segment is
+// delivered by whichever shard first reaches full rank, and Claim makes
+// that race winner-take-all. Entries are bounded by a FIFO eviction ring
+// (an evicted segment could at worst be delivered again — the same
+// contract as the per-server finished set). Safe for concurrent use by
+// all shards.
+type Journal struct {
+	mu        sync.Mutex
+	delivered map[rlnc.SegmentID]bool
+	ring      []rlnc.SegmentID
+	head      int
+	size      int
+}
+
+// NewJournal builds a journal remembering up to cap deliveries; cap <= 0
+// selects DefaultJournalCap.
+func NewJournal(cap int) *Journal {
+	if cap <= 0 {
+		cap = DefaultJournalCap
+	}
+	return &Journal{
+		delivered: make(map[rlnc.SegmentID]bool),
+		ring:      make([]rlnc.SegmentID, cap),
+	}
+}
+
+// Claim records the segment as delivered and reports whether this call won
+// the claim (true exactly once per remembered segment).
+func (j *Journal) Claim(seg rlnc.SegmentID) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.delivered[seg] {
+		return false
+	}
+	if j.size == len(j.ring) {
+		delete(j.delivered, j.ring[j.head])
+		j.head = (j.head + 1) % len(j.ring)
+		j.size--
+	}
+	j.ring[(j.head+j.size)%len(j.ring)] = seg
+	j.size++
+	j.delivered[seg] = true
+	return true
+}
+
+// Delivered reports whether the segment has been claimed.
+func (j *Journal) Delivered(seg rlnc.SegmentID) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.delivered[seg]
+}
+
+// Count returns how many deliveries the journal currently remembers.
+func (j *Journal) Count() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}

@@ -1,0 +1,103 @@
+// Package fleet scales collection horizontally: a consistent-hash ring
+// partitions the segment space across N_s collection servers (the paper's
+// aggregate-capacity argument — coded blocks are fungible, so each shard
+// collecting its slice at rate c_s gives the fleet c = c_s·N_s/N per
+// node), a shared delivery journal makes delivery coordinator-free and
+// exactly-once, and shards exchange recoded blocks so gossip that lands at
+// the wrong shard still converges at the owner.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+
+	"p2pcollect/internal/rlnc"
+)
+
+// DefaultVnodes is the virtual-node count per shard; 256 keeps the
+// max/min shard load ratio within ~1.25 (see TestRingBalance).
+const DefaultVnodes = 256
+
+// Ring is a consistent-hash map from segment IDs to shard indexes
+// [0, shards). Immutable after construction; lookups are allocation-free
+// and safe for concurrent use.
+type Ring struct {
+	shards int
+	hashes []uint64 // sorted vnode positions
+	owners []int    // owners[i] is the shard at hashes[i]
+}
+
+// NewRing places vnodes virtual nodes per shard on the hash circle.
+// vnodes <= 0 selects DefaultVnodes.
+func NewRing(shards, vnodes int) (*Ring, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("fleet: ring needs at least 1 shard, got %d", shards)
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	type point struct {
+		hash  uint64
+		shard int
+	}
+	pts := make([]point, 0, shards*vnodes)
+	for s := 0; s < shards; s++ {
+		for v := 0; v < vnodes; v++ {
+			// Two rounds of mixing decorrelate the (shard, vnode) lattice.
+			h := mix64(mix64(uint64(s)+0x9e3779b97f4a7c15) ^ uint64(v)*0xbf58476d1ce4e5b9)
+			pts = append(pts, point{hash: h, shard: s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].hash != pts[j].hash {
+			return pts[i].hash < pts[j].hash
+		}
+		// Colliding vnodes tie-break on shard so construction order never
+		// changes ownership.
+		return pts[i].shard < pts[j].shard
+	})
+	r := &Ring{
+		shards: shards,
+		hashes: make([]uint64, len(pts)),
+		owners: make([]int, len(pts)),
+	}
+	for i, p := range pts {
+		r.hashes[i] = p.hash
+		r.owners[i] = p.shard
+	}
+	return r, nil
+}
+
+// Shards returns N_s.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner returns the shard that owns the segment: the first vnode at or
+// clockwise of the segment's hash.
+func (r *Ring) Owner(seg rlnc.SegmentID) int {
+	if r.shards == 1 {
+		return 0
+	}
+	h := HashSegment(seg)
+	// Binary search for the first vnode position >= h, wrapping to 0.
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.owners[i]
+}
+
+// HashSegment maps a segment ID onto the hash circle.
+func HashSegment(seg rlnc.SegmentID) uint64 {
+	return mix64(mix64(seg.Origin+0x9e3779b97f4a7c15) ^ seg.Seq*0x94d049bb133111eb)
+}
+
+// mix64 is the splitmix64 finalizer: a cheap, well-distributed 64-bit
+// mixer with no state and no allocation.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

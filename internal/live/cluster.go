@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 
+	"p2pcollect/internal/fleet"
 	"p2pcollect/internal/obs"
 	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
@@ -36,6 +37,13 @@ type ClusterConfig struct {
 	// DecodeWorkers gives every server a decode worker pool of this size
 	// (see ServerConfig.DecodeWorkers). Zero keeps decodes synchronous.
 	DecodeWorkers int
+	// Fleet runs the servers as a sharded fleet: a consistent-hash ring
+	// partitions the segment space across them, misrouted blocks are
+	// recoded and exchanged server-to-server, and a shared delivery
+	// journal makes OnSegment exactly-once across the fleet. With one
+	// server the fleet machinery is inert and the run is byte-identical
+	// to a standalone cluster.
+	Fleet bool
 	// WrapTransport, when set, wraps every endpoint's transport before the
 	// node or server is built — e.g. in a transport.Faulty for chaos
 	// testing. The callback sees the endpoint's LocalID and may return the
@@ -60,6 +68,8 @@ type Cluster struct {
 	Network *transport.Network
 	Nodes   []*Node
 	Servers []*Server
+	// Journal is the fleet's shared delivery journal, nil unless Fleet.
+	Journal *fleet.Journal
 	// Tracer is the shared segment-lifecycle ring tracer, nil unless
 	// TraceCap or DebugAddr was set.
 	Tracer *obs.RingTracer
@@ -139,6 +149,14 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	for i := range peerIDs {
 		peerIDs[i] = transport.NodeID(i + 1)
 	}
+	var shardPeers map[int]transport.NodeID
+	if cfg.Fleet {
+		c.Journal = fleet.NewJournal(0)
+		shardPeers = make(map[int]transport.NodeID, cfg.Servers)
+		for j := 0; j < cfg.Servers; j++ {
+			shardPeers[j] = transport.NodeID(serverIDBase + j)
+		}
+	}
 	for j := 0; j < cfg.Servers; j++ {
 		// The server seed is drawn first and the policy seed only for
 		// feedback policies, so a blind cluster consumes exactly the same
@@ -160,6 +178,12 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Policy:         policy,
 			SampleInterval: cfg.Node.SampleInterval,
 			DecodeWorkers:  cfg.DecodeWorkers,
+		}
+		if cfg.Fleet {
+			srvCfg.Shards = cfg.Servers
+			srvCfg.ShardID = j
+			srvCfg.ShardPeers = shardPeers
+			srvCfg.Journal = c.Journal
 		}
 		if c.Tracer != nil {
 			srvCfg.Tracer = c.Tracer

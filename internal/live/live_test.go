@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"p2pcollect/internal/collect/store"
 	"p2pcollect/internal/logdata"
 	"p2pcollect/internal/rlnc"
 	"p2pcollect/internal/transport"
@@ -339,6 +340,9 @@ func TestNodeGarbageCollectsStaleNotices(t *testing.T) {
 	t.Fatalf("stale notices never reaped: %d entries", len(node.fullAt))
 }
 
+// TestServerFinishedSetBounded checks the server end-to-end honors
+// FinishedCap via its store (the ring mechanics themselves are tested in
+// internal/collect/store).
 func TestServerFinishedSetBounded(t *testing.T) {
 	net := transport.NewNetwork()
 	srv, err := NewServer(net.Join(1), ServerConfig{
@@ -350,13 +354,17 @@ func TestServerFinishedSetBounded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	st := srv.Service().Store()
 	srv.mu.Lock()
 	for i := 0; i < 10; i++ {
-		srv.markFinished(rlnc.SegmentID{Origin: 1, Seq: uint64(i)})
+		st.MarkFinished(rlnc.SegmentID{Origin: 1, Seq: uint64(i)})
 	}
-	size := len(srv.finished)
-	oldestGone := !srv.finished[rlnc.SegmentID{Origin: 1, Seq: 0}]
-	newestKept := srv.finished[rlnc.SegmentID{Origin: 1, Seq: 9}]
+	oldestGone := !st.Finished(rlnc.SegmentID{Origin: 1, Seq: 0})
+	newestKept := st.Finished(rlnc.SegmentID{Origin: 1, Seq: 9})
+	var size int
+	if mem, ok := st.(*store.Memory); ok {
+		size = mem.FinishedCount()
+	}
 	srv.mu.Unlock()
 	if size != 4 {
 		t.Errorf("finished set size = %d, want 4", size)
@@ -432,49 +440,8 @@ func TestSegmentCompleteUnmutesAfterExpiry(t *testing.T) {
 	t.Fatal("neighbor never un-muted after the notice expired")
 }
 
-// TestMarkFinishedSteadyStateAllocations guards the finished-set ring
-// buffer: a server decoding segments indefinitely must not allocate per
-// decode (the old FIFO re-slicing pinned an ever-growing backing array).
-func TestMarkFinishedSteadyStateAllocations(t *testing.T) {
-	net := transport.NewNetwork()
-	srv, err := NewServer(net.Join(1), ServerConfig{
-		Peers:       []transport.NodeID{2},
-		FinishedCap: 64,
-		Seed:        1,
-	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	var seq uint64
-	mark := func() {
-		srv.mu.Lock()
-		srv.markFinished(rlnc.SegmentID{Origin: 7, Seq: seq})
-		seq++
-		srv.mu.Unlock()
-	}
-	// Warm past ring creation and map growth, then measure steady state.
-	for i := 0; i < 1024; i++ {
-		mark()
-	}
-	allocs := testing.AllocsPerRun(5000, mark)
-	if allocs > 0.1 {
-		t.Errorf("markFinished allocates %.2f allocs/op in steady state, want ~0", allocs)
-	}
-	srv.mu.Lock()
-	defer srv.mu.Unlock()
-	if len(srv.finished) != 64 {
-		t.Errorf("finished set size = %d, want 64", len(srv.finished))
-	}
-	if len(srv.finishedRing) != 64 || cap(srv.finishedRing) != 64 {
-		t.Errorf("ring len/cap = %d/%d, want 64/64", len(srv.finishedRing), cap(srv.finishedRing))
-	}
-	if !srv.finished[rlnc.SegmentID{Origin: 7, Seq: seq - 1}] {
-		t.Error("newest entry missing after ring wrap")
-	}
-	if srv.finished[rlnc.SegmentID{Origin: 7, Seq: seq - 65}] {
-		t.Error("entry older than the ring capacity not evicted")
-	}
-}
+// The finished-ring steady-state allocation guard moved with the ring into
+// internal/collect/store (TestMarkFinishedSteadyStateAllocations there).
 
 func TestServerNegativeFinishedCapRejected(t *testing.T) {
 	net := transport.NewNetwork()

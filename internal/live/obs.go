@@ -81,10 +81,7 @@ func (s *Server) obsLoop() {
 func (s *Server) sampleObs() {
 	s.mu.Lock()
 	now := s.now()
-	open := 0
-	if s.collector != nil {
-		open = s.collector.OpenCount()
-	}
+	open := s.svc.OpenCount()
 	pending := len(s.pending)
 	s.mu.Unlock()
 	s.obsPending.Set(float64(pending))

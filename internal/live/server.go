@@ -6,6 +6,8 @@ import (
 	"sync"
 	"time"
 
+	"p2pcollect/internal/collect"
+	"p2pcollect/internal/fleet"
 	"p2pcollect/internal/metrics"
 	"p2pcollect/internal/obs"
 	"p2pcollect/internal/peercore"
@@ -15,25 +17,24 @@ import (
 	"p2pcollect/internal/transport"
 )
 
-// defaultFinishedCap bounds the server's memory of completed segments.
-const defaultFinishedCap = 1 << 16
-
-// Pull-feedback outcome counters. Every policy.Feedback call is classified
-// into exactly one bucket, so the exposition layer shows how the server's
-// pull budget is spent: useful (rank growth), redundant (finished segment or
-// non-innovative block), or empty (peer had nothing).
+// Fleet exchange counters: the server-to-server traffic a shard generates
+// and absorbs, plus how much pulled gossip landed at the wrong shard.
 const (
-	fbUseful = iota
-	fbRedundant
-	fbEmpty
+	fcExchangeSent = iota
+	fcExchangeReceived
+	fcExchangeInnovative
+	fcMisrouted
+	fcRemoteFinished
 
-	numFeedbackCounters
+	numFleetCounters
 )
 
-var feedbackCounterNames = [numFeedbackCounters]string{
-	fbUseful:    "pullschedFeedbackUseful",
-	fbRedundant: "pullschedFeedbackRedundant",
-	fbEmpty:     "pullschedFeedbackEmpty",
+var fleetCounterNames = [numFleetCounters]string{
+	fcExchangeSent:       "fleetExchangeSent",
+	fcExchangeReceived:   "fleetExchangeReceived",
+	fcExchangeInnovative: "fleetExchangeInnovative",
+	fcMisrouted:          "fleetMisroutedBlocks",
+	fcRemoteFinished:     "fleetRemoteFinished",
 }
 
 // ServerConfig parameterizes one live logging server.
@@ -77,6 +78,25 @@ type ServerConfig struct {
 	// the synchronous in-loop decode. Rank accounting, feedback, and
 	// decoded bytes are identical either way.
 	DecodeWorkers int
+
+	// Shards makes this server one shard of an N_s-server fleet: a
+	// consistent-hash ring partitions the segment space, the pull policy
+	// schedules only against this shard's slice, and innovative blocks that
+	// arrive for another shard's segment are recoded and forwarded to the
+	// owner (MsgExchange). 0 or 1 means standalone — the fleet machinery
+	// adds no RNG draws and no messages, so a 1-shard server is
+	// byte-identical to a standalone one.
+	Shards int
+	// ShardID is this server's shard index in [0, Shards).
+	ShardID int
+	// ShardPeers maps every other shard's index to its transport ID, for
+	// exchange forwarding and completion notices. This shard's own entry is
+	// ignored.
+	ShardPeers map[int]transport.NodeID
+	// Journal, when set, gates delivery fleet-wide: whichever shard first
+	// reaches full rank claims the segment, so OnSegment fires exactly once
+	// per segment across the fleet with no coordinator.
+	Journal *fleet.Journal
 }
 
 func (c ServerConfig) validate() error {
@@ -91,6 +111,11 @@ func (c ServerConfig) validate() error {
 		return errors.New("live: negative FinishedCap")
 	case c.DecodeWorkers < 0:
 		return errors.New("live: negative DecodeWorkers")
+	case c.Shards < 0:
+		return errors.New("live: negative Shards")
+	}
+	if c.Shards > 1 && (c.ShardID < 0 || c.ShardID >= c.Shards) {
+		return fmt.Errorf("live: ShardID %d outside [0, %d)", c.ShardID, c.Shards)
 	}
 	return nil
 }
@@ -111,40 +136,40 @@ type ServerStats struct {
 	Protocol          map[string]int64
 }
 
-// Server is a live logging server running the coupon-collector pull loop
-// and the shared peercore collection state machine. OnSegment, when set
-// before Start, receives every reconstructed segment's original blocks.
+// Server is the transport adapter over the collection service: it owns the
+// wire (pull loop, receive loop), the clock, and the serialization lock,
+// and delegates every protocol decision to an internal/collect.Service.
+// OnSegment, when set before Start, receives every reconstructed segment's
+// original blocks.
 type Server struct {
 	cfg ServerConfig
 	tr  transport.Transport
 
-	// OnSegment is invoked (from the receive loop) with the original blocks
-	// of each segment as soon as it decodes.
+	// OnSegment is invoked (from the receive loop or the decode pool's
+	// delivery goroutine) with the original blocks of each segment as soon
+	// as it decodes.
 	OnSegment func(id rlnc.SegmentID, blocks [][]byte)
 
-	mu        sync.Mutex
-	rng       *randx.Rand
-	policy    pullsched.Policy
-	counters  *peercore.Counters
-	collector *peercore.Collector // nil until the segment size is known
-	finished  map[rlnc.SegmentID]bool
-	// finishedRing is the eviction order for the finished set: a fixed
-	// FinishedCap-slot ring (head + size), so unbounded decode streams
-	// never grow — or pin — a backing array.
-	finishedRing []rlnc.SegmentID
-	ringHead     int
-	ringSize     int
-	redundant    int64
-	started      time.Time
+	mu       sync.Mutex
+	rng      *randx.Rand
+	svc      *collect.Service
+	counters *peercore.Counters
+	started  time.Time
+
+	// Fleet state (nil/empty when standalone). exchRNG drives recoding for
+	// exchange forwards — separate from rng so fleet mode adds no draws to
+	// the seeded pull sequence.
+	ring     *fleet.Ring
+	shardTo  map[int]transport.NodeID
+	shardSet map[transport.NodeID]bool
+	exchRNG  *randx.Rand
+	fleetCtr *metrics.CounterSet
 
 	// Observability. pending maps each peer to the send time of its latest
-	// outstanding pull (the next reply from that peer closes it); firstSeen
-	// maps each in-progress segment to when its first block arrived.
+	// outstanding pull (the next reply from that peer closes it).
 	reg           *obs.Registry
 	tracer        obs.Tracer
-	fb            *metrics.CounterSet
 	pending       map[transport.NodeID]float64
-	firstSeen     map[rlnc.SegmentID]float64
 	obsRTT        *obs.Histogram
 	obsCollect    *obs.Histogram
 	obsDecode     *obs.Histogram
@@ -153,12 +178,6 @@ type Server struct {
 	obsOutbox     *obs.Gauge
 	obsOpenSeries *obs.TimeSeries
 	debug         *obs.DebugServer
-
-	// pool is the decode worker pool (nil when DecodeWorkers == 0);
-	// decodeSeq numbers completed segments so the pool can restore
-	// completion order. Guarded by mu.
-	pool      *decodePool
-	decodeSeq uint64
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -171,36 +190,25 @@ func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	if cfg.FinishedCap == 0 {
-		cfg.FinishedCap = defaultFinishedCap
-	}
 	policy := cfg.Policy
 	if policy == nil {
 		policy = pullsched.Blind{}
 	}
 	s := &Server{
-		cfg:       cfg,
-		tr:        tr,
-		rng:       randx.New(cfg.Seed),
-		policy:    policy,
-		counters:  peercore.NewCounters(),
-		finished:  make(map[rlnc.SegmentID]bool),
-		tracer:    cfg.Tracer,
-		fb:        metrics.NewCounterSet(feedbackCounterNames[:]),
-		pending:   make(map[transport.NodeID]float64),
-		firstSeen: make(map[rlnc.SegmentID]float64),
-		stop:      make(chan struct{}),
+		cfg:      cfg,
+		tr:       tr,
+		rng:      randx.New(cfg.Seed),
+		counters: peercore.NewCounters(),
+		tracer:   cfg.Tracer,
+		pending:  make(map[transport.NodeID]float64),
+		stop:     make(chan struct{}),
 	}
 	if s.tracer == nil {
 		s.tracer = obs.NopTracer{}
 	}
-	if cfg.SegmentSize > 0 {
-		s.collector = peercore.NewCollector(s.collectorConfig(cfg.SegmentSize), s.counters)
-	}
 	s.reg = obs.NewRegistry(endpointLabel(tr.LocalID()))
 	s.reg.SetInfo("policy", policy.Name())
 	s.reg.RegisterCounters(s.counters.Range)
-	s.reg.RegisterCounters(s.fb.Range)
 	if cr, ok := tr.(transport.CounterRanger); ok {
 		s.reg.RegisterCounters(cr.RangeCounters)
 	}
@@ -214,17 +222,57 @@ func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
 	if rt, ok := s.tracer.(*obs.RingTracer); ok {
 		s.reg.SetTracer(rt)
 	}
-	return s, nil
-}
 
-// collectorConfig builds the collection-state-machine config: with decode
-// workers, collections defer their payload solves so the receive loop only
-// pays for the rank update.
-func (s *Server) collectorConfig(segmentSize int) peercore.CollectorConfig {
-	return peercore.CollectorConfig{
-		SegmentSize:  segmentSize,
-		DeferPayload: s.cfg.DecodeWorkers > 0,
+	svcCfg := collect.Config{
+		SegmentSize:   cfg.SegmentSize,
+		FinishedCap:   cfg.FinishedCap,
+		DecodeWorkers: cfg.DecodeWorkers,
+		Policy:        policy,
+		Sink:          s.counters,
+		Tracer:        s.tracer,
+		Actor:         uint64(tr.LocalID()),
+		CollectTime:   s.obsCollect,
+		DecodeLatency: s.obsDecode,
+		DecodeQueue:   s.obsDecodeQ,
 	}
+	if cfg.Journal != nil {
+		journal := cfg.Journal
+		svcCfg.Gate = journal.Claim
+	}
+	if cfg.Shards > 1 {
+		ring, err := fleet.NewRing(cfg.Shards, fleet.DefaultVnodes)
+		if err != nil {
+			return nil, err
+		}
+		s.ring = ring
+		s.shardTo = make(map[int]transport.NodeID, len(cfg.ShardPeers))
+		s.shardSet = make(map[transport.NodeID]bool, len(cfg.ShardPeers))
+		for id, addr := range cfg.ShardPeers {
+			if id == cfg.ShardID {
+				continue
+			}
+			s.shardTo[id] = addr
+			s.shardSet[addr] = true
+		}
+		// A distinct stream derived from the pull seed: deterministic, but
+		// interleaving-independent of the pull loop's draws.
+		s.exchRNG = randx.New(cfg.Seed ^ int64(fleet.HashSegment(rlnc.SegmentID{Origin: uint64(cfg.ShardID), Seq: uint64(cfg.Shards)})))
+		shardID := cfg.ShardID
+		svcCfg.Owns = func(seg rlnc.SegmentID) bool { return ring.Owner(seg) == shardID }
+		s.reg.SetInfo("shard", fmt.Sprintf("%d/%d", cfg.ShardID, cfg.Shards))
+	}
+	s.fleetCtr = metrics.NewCounterSet(fleetCounterNames[:])
+	if cfg.Shards > 1 {
+		s.reg.RegisterCounters(s.fleetCtr.Range)
+	}
+
+	svc, err := collect.New(svcCfg)
+	if err != nil {
+		return nil, err
+	}
+	s.svc = svc
+	s.reg.RegisterCounters(svc.RangeFeedback)
+	return s, nil
 }
 
 // Registry exposes the server's observability registry, for scraping it
@@ -233,6 +281,9 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 
 // ID returns the server's network identity.
 func (s *Server) ID() transport.NodeID { return s.tr.LocalID() }
+
+// Service exposes the server's collection service (tests and tools).
+func (s *Server) Service() *collect.Service { return s.svc }
 
 // Start launches the pull and receive loops.
 func (s *Server) Start() error {
@@ -250,9 +301,7 @@ func (s *Server) Start() error {
 	}
 	s.running = true
 	s.started = time.Now()
-	if s.cfg.DecodeWorkers > 0 {
-		s.pool = newDecodePool(s.cfg.DecodeWorkers, s.OnSegment, s.obsDecode, s.obsDecodeQ)
-	}
+	s.svc.Start(s.OnSegment)
 	s.wg.Add(2)
 	go s.recvLoop()
 	go s.obsLoop()
@@ -283,36 +332,38 @@ func (s *Server) Stop() {
 	close(s.stop)
 	s.tr.Close()
 	s.wg.Wait()
-	if s.pool != nil {
-		// The receive loop has exited, so no further enqueues: drain every
-		// queued decode and deliver it before returning.
-		s.pool.close()
-		s.pool = nil
-	}
+	// The receive loop has exited, so no further blocks arrive: the service
+	// drains its decode pool, delivering everything queued, then releases
+	// store state.
+	s.svc.Close()
 	if s.debug != nil {
 		s.debug.Close() //nolint:errcheck // shutdown path
 		s.debug = nil
 	}
 }
 
-// Stats returns a snapshot of the server's counters.
+// Stats returns a snapshot of the server's counters. All event-counter
+// fields come from one consistent snapshot taken under the lock (the old
+// implementation issued a separate read per field, so a decode landing
+// mid-call could yield DecodedSegments > DeliveredSegments).
 func (s *Server) Stats() ServerStats {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	c := s.counters
+	snap := s.counters.Snapshot()
 	st := ServerStats{
-		PullsSent:         c.Get(peercore.EvPullSent),
-		BlocksReceived:    c.Get(peercore.EvBlockReceived),
-		EmptyReplies:      c.Get(peercore.EvEmptyReply),
-		RedundantBlocks:   s.redundant,
-		DeliveredSegments: c.Get(peercore.EvDeliveredSegment),
-		DecodedSegments:   c.Get(peercore.EvDecodedSegment),
-		Protocol:          mergeTransportCounters(c.Snapshot(), s.tr),
+		PullsSent:         snap[peercore.EvPullSent.String()],
+		BlocksReceived:    snap[peercore.EvBlockReceived.String()],
+		EmptyReplies:      snap[peercore.EvEmptyReply.String()],
+		RedundantBlocks:   s.svc.Redundant(),
+		DeliveredSegments: snap[peercore.EvDeliveredSegment.String()],
+		DecodedSegments:   snap[peercore.EvDecodedSegment.String()],
+		OpenDecoders:      s.svc.OpenCount(),
 	}
-	s.fb.Range(func(name string, v int64) { st.Protocol[name] = v })
-	if s.collector != nil {
-		st.OpenDecoders = s.collector.OpenCount()
+	s.svc.RangeFeedback(func(name string, v int64) { snap[name] = v })
+	if s.cfg.Shards > 1 {
+		s.fleetCtr.Range(func(name string, v int64) { snap[name] = v })
 	}
+	s.mu.Unlock()
+	st.Protocol = mergeTransportCounters(snap, s.tr)
 	return st
 }
 
@@ -328,9 +379,6 @@ func (s *Server) observeRTT(from transport.NodeID, now float64) {
 		s.obsRTT.Observe(now - t0)
 	}
 }
-
-// trace emits a segment-lifecycle milestone. Callers hold mu.
-func (s *Server) trace(ev obs.TraceEvent) { s.tracer.Trace(ev) }
 
 func (s *Server) pullLoop() {
 	defer s.wg.Done()
@@ -351,7 +399,7 @@ func (s *Server) pullLoop() {
 			return
 		case <-timer.C:
 			s.mu.Lock()
-			dec, ok := s.policy.Choose(s.now(), liveEnv{s})
+			dec, ok := s.svc.Choose(s.now(), liveEnv{s})
 			s.mu.Unlock()
 			if ok {
 				msg := &transport.Message{Type: transport.MsgPullRequest}
@@ -404,21 +452,20 @@ func (s *Server) recvLoop() {
 			switch m.Type {
 			case transport.MsgBlock:
 				s.receiveBlock(m)
+			case transport.MsgExchange:
+				s.receiveExchange(m)
+			case transport.MsgSegmentComplete:
+				s.receiveShardFinished(m)
 			case transport.MsgEmpty:
 				s.mu.Lock()
 				now := s.now()
 				s.counters.Count(peercore.EvEmptyReply, 1)
 				s.observeRTT(m.From, now)
-				s.fb.Add(fbEmpty, 1)
-				s.policy.Feedback(pullsched.Feedback{
-					Peer:  pullsched.PeerRef(m.From),
-					Time:  now,
-					Empty: true,
-				})
+				s.svc.HandleEmpty(now, pullsched.PeerRef(m.From))
 				s.mu.Unlock()
 			case transport.MsgInventory:
 				s.mu.Lock()
-				s.policy.ObserveInventory(s.now(), pullsched.PeerRef(m.From), m.Inventory)
+				s.svc.HandleInventory(s.now(), pullsched.PeerRef(m.From), m.Inventory)
 				s.mu.Unlock()
 			default:
 				// Servers ignore peer-to-peer chatter.
@@ -427,123 +474,103 @@ func (s *Server) recvLoop() {
 	}
 }
 
-// receiveBlock feeds a pulled block into the shared collection state
-// machine, reports the outcome to the pull policy, and fires OnSegment at
-// full rank. The feedback uses the live server's rank-based accounting —
-// it must reach full rank to decode payloads, so "useful" means linearly
-// innovative and "done" means decoded (or already finished and forgotten).
+// receiveBlock feeds a pulled block into the collection service and runs
+// the fleet follow-ups its result calls for: forwarding a recoded
+// combination to the owning shard when the block was misrouted, and
+// announcing fleet-wide completion when the segment decoded here.
 func (s *Server) receiveBlock(m *transport.Message) {
 	cb := m.Block
 	if cb == nil {
 		return
 	}
-	from := pullsched.PeerRef(m.From)
 	s.mu.Lock()
 	now := s.now()
 	s.counters.Count(peercore.EvBlockReceived, 1)
 	s.observeRTT(m.From, now)
-	if s.finished[cb.Seg] {
-		s.redundant++
-		s.fb.Add(fbRedundant, 1)
-		s.policy.Feedback(pullsched.Feedback{Peer: from, Time: now, Seg: cb.Seg, Done: true})
-		s.mu.Unlock()
-		return
+	res := s.svc.HandleBlock(now, pullsched.PeerRef(m.From), cb, true)
+	var fwd *transport.Message
+	var fwdTo transport.NodeID
+	if s.ring != nil && !res.Owned {
+		if !res.Finished && !res.Rejected {
+			s.fleetCtr.Add(fcMisrouted, 1)
+		}
+		// Every shard absorbs the block locally regardless (any shard
+		// completing a segment is a delivery), but the owner converges
+		// fastest when misrouted innovation is forwarded to it. Recoding —
+		// rather than relaying the block verbatim — lets one exchange carry
+		// everything this shard accumulated for the segment.
+		if res.Outcome.Innovative && !res.Outcome.Decoded {
+			if to, ok := s.shardTo[s.ring.Owner(cb.Seg)]; ok {
+				if rec := res.Col.Recode(s.exchRNG); rec != nil {
+					fwd = &transport.Message{Type: transport.MsgExchange, Block: rec}
+					fwdTo = to
+					s.fleetCtr.Add(fcExchangeSent, 1)
+				}
+			}
+		}
 	}
-	if s.collector == nil {
-		s.collector = peercore.NewCollector(s.collectorConfig(cb.SegmentSize()), s.counters)
-	}
-	if _, seen := s.firstSeen[cb.Seg]; !seen {
-		s.firstSeen[cb.Seg] = now
-	}
-	out, col, err := s.collector.Receive(now, cb)
-	if err != nil {
-		s.redundant++
-		s.fb.Add(fbRedundant, 1)
-		s.mu.Unlock()
-		return
-	}
-	if out.Innovative {
-		s.fb.Add(fbUseful, 1)
-		s.trace(obs.TraceEvent{
-			Seg: cb.Seg, Kind: obs.TraceServerRank, T: now,
-			Actor: uint64(s.tr.LocalID()), N: col.Rank(),
-		})
-	} else {
-		s.fb.Add(fbRedundant, 1)
-	}
-	if out.Delivered {
-		s.trace(obs.TraceEvent{
-			Seg: cb.Seg, Kind: obs.TraceDelivered, T: now,
-			Actor: uint64(s.tr.LocalID()), N: col.State(),
-		})
-	}
-	s.policy.Feedback(pullsched.Feedback{
-		Peer:    from,
-		Time:    now,
-		Seg:     cb.Seg,
-		Useful:  out.Innovative,
-		Done:    out.Decoded,
-		Deficit: col.RankDeficit(),
-	})
-	if !out.Innovative {
-		s.redundant++
-		s.mu.Unlock()
-		return
-	}
-	if !out.Decoded {
-		s.mu.Unlock()
-		return
-	}
-	if t0, ok := s.firstSeen[cb.Seg]; ok {
-		delete(s.firstSeen, cb.Seg)
-		s.obsCollect.Observe(now - t0)
-	}
-	s.trace(obs.TraceEvent{
-		Seg: cb.Seg, Kind: obs.TraceDecoded, T: now,
-		Actor: uint64(s.tr.LocalID()), N: col.Rank(),
-	})
-	if s.pool != nil {
-		// Hand the solve to the worker pool. Finished + forgotten under the
-		// mutex first, so no later block can reach this collection: the pool
-		// owns it exclusively from here.
-		seq := s.decodeSeq
-		s.decodeSeq++
-		s.markFinished(cb.Seg)
-		s.collector.Forget(cb.Seg)
-		pool := s.pool
-		s.mu.Unlock()
-		pool.enqueue(seq, cb.Seg, col)
-		return
-	}
-	t0 := time.Now()
-	blocks, decErr := col.Decode()
-	s.obsDecode.Observe(time.Since(t0).Seconds())
-	s.markFinished(cb.Seg)
-	s.collector.Forget(cb.Seg)
-	onSegment := s.OnSegment
+	decoded := res.Outcome.Decoded
 	s.mu.Unlock()
-	if decErr == nil && onSegment != nil {
-		onSegment(cb.Seg, blocks)
+	if res.Flush != nil {
+		res.Flush()
+	}
+	if fwd != nil {
+		s.tr.Send(fwdTo, fwd) //nolint:errcheck // best-effort convergence accelerator
+	}
+	if decoded {
+		s.broadcastFinished(cb.Seg)
 	}
 }
 
-// markFinished records a completed segment, evicting the oldest entry when
-// the bounded memory is full. The ring never reallocates, so a server
-// decoding segments indefinitely holds exactly FinishedCap entries of
-// eviction state (re-slicing the old FIFO with [1:] pinned its ever-
-// growing backing array forever). Callers hold mu.
-func (s *Server) markFinished(id rlnc.SegmentID) {
-	if s.finishedRing == nil {
-		s.finishedRing = make([]rlnc.SegmentID, s.cfg.FinishedCap)
+// receiveExchange feeds a recoded block from another shard into the
+// service. Exchange traffic is not a pull reply: no RTT, no policy
+// feedback, no pull counters — and never re-forwarded, so exchange cannot
+// loop between shards.
+func (s *Server) receiveExchange(m *transport.Message) {
+	cb := m.Block
+	if cb == nil || s.ring == nil {
+		return
 	}
-	if s.ringSize == len(s.finishedRing) {
-		delete(s.finished, s.finishedRing[s.ringHead])
-		s.ringHead = (s.ringHead + 1) % len(s.finishedRing)
-		s.ringSize--
+	s.mu.Lock()
+	now := s.now()
+	s.fleetCtr.Add(fcExchangeReceived, 1)
+	res := s.svc.HandleBlock(now, pullsched.PeerRef(m.From), cb, false)
+	if res.Outcome.Innovative {
+		s.fleetCtr.Add(fcExchangeInnovative, 1)
 	}
-	s.finishedRing[(s.ringHead+s.ringSize)%len(s.finishedRing)] = id
-	s.ringSize++
-	s.finished[id] = true
+	decoded := res.Outcome.Decoded
+	s.mu.Unlock()
+	if res.Flush != nil {
+		res.Flush()
+	}
+	if decoded {
+		s.broadcastFinished(cb.Seg)
+	}
+}
+
+// receiveShardFinished handles a completion notice from another shard.
+// Peers also send MsgSegmentComplete — meaning "my holding is full", not
+// "segment delivered" — so only notices from fleet members count.
+func (s *Server) receiveShardFinished(m *transport.Message) {
+	if s.ring == nil || !s.shardSet[m.From] {
+		return
+	}
+	s.mu.Lock()
+	if s.svc.FinishRemote(m.Seg) {
+		s.fleetCtr.Add(fcRemoteFinished, 1)
+	}
+	s.mu.Unlock()
+}
+
+// broadcastFinished tells every other shard the segment is complete, so
+// they drop their partial collections and stop exchanging it.
+func (s *Server) broadcastFinished(seg rlnc.SegmentID) {
+	if s.ring == nil {
+		return
+	}
+	for _, to := range s.shardTo {
+		s.tr.Send(to, &transport.Message{Type: transport.MsgSegmentComplete, Seg: seg}) //nolint:errcheck // best-effort
+	}
 }
 
 // String describes the server for logs.

@@ -3,6 +3,7 @@ package peercore
 import (
 	"fmt"
 
+	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 )
 
@@ -79,6 +80,12 @@ func (c *Collection) DecodedAt() float64 { return c.decodedAt }
 // Decode reconstructs the source blocks; valid only once Decoded.
 func (c *Collection) Decode() ([][]byte, error) { return c.dec.Decode() }
 
+// Recode returns one fresh random linear combination of the collection's
+// received space (nil while the collection holds nothing, or for rank-only
+// collections). Shard fleets exchange these so blocks that landed at the
+// wrong shard still reach the segment's owner.
+func (c *Collection) Recode(rng *randx.Rand) *rlnc.CodedBlock { return c.dec.Recode(rng) }
+
 // Release returns the collection's decoder storage to the slab free list
 // (meaningful for deferred collections; harmless otherwise). Call it after
 // the final Decode, once the collection has been forgotten.
@@ -136,6 +143,14 @@ func (c *Collector) OpenCount() int { return len(c.segs) }
 // Forget discards a segment's collection (bounded server memory, or the
 // simulator reclaiming extinct segments).
 func (c *Collector) Forget(seg rlnc.SegmentID) { delete(c.segs, seg) }
+
+// Range visits every open collection in map order. Callers must not mutate
+// the collector while ranging.
+func (c *Collector) Range(f func(seg rlnc.SegmentID, col *Collection)) {
+	for seg, col := range c.segs {
+		f(seg, col)
+	}
+}
 
 // Receive runs one pulled block through the collection state machine:
 // shape validation, state-counter accounting, then the rank decoder. A

@@ -3,6 +3,7 @@ package peercore
 import (
 	"testing"
 
+	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 )
 
@@ -119,4 +120,33 @@ func BenchmarkCollectorReceive(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkCollectionRecode measures the fleet-exchange hot path: producing
+// one fresh combination of a partially collected segment to forward to the
+// ring owner (s=16 received rows, 64-byte payloads).
+func BenchmarkCollectionRecode(b *testing.B) {
+	const s = 16
+	seg := rlnc.SegmentID{Origin: 1}
+	payload := make([]byte, 64)
+	c := NewCollector(CollectorConfig{SegmentSize: s}, nil)
+	for i := 0; i < s-1; i++ { // mid-collection: the state exchange forwards from
+		coeffs := make([]byte, s)
+		coeffs[i] = 1
+		if _, _, err := c.Receive(1, &rlnc.CodedBlock{Seg: seg, Coeffs: coeffs, Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	col := c.Collection(seg)
+	if col == nil {
+		b.Fatal("collection missing")
+	}
+	rng := randx.New(99)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if col.Recode(rng) == nil {
+			b.Fatal("nil recode")
+		}
+	}
 }

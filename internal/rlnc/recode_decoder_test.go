@@ -1,0 +1,90 @@
+package rlnc
+
+import (
+	"testing"
+
+	"p2pcollect/internal/randx"
+)
+
+// TestDecoderRecodeSpansReceivedSpace checks the exchange primitive: blocks
+// recoded out of a partial decoder must let a second decoder reconstruct
+// the segment exactly, and must never leak dimensions the first decoder
+// does not hold.
+func TestDecoderRecodeSpansReceivedSpace(t *testing.T) {
+	for _, deferred := range []bool{false, true} {
+		name := "eager"
+		if deferred {
+			name = "deferred"
+		}
+		t.Run(name, func(t *testing.T) {
+			const (
+				size       = 6
+				payloadLen = 48
+			)
+			rng := randx.New(5)
+			blocks := make([][]byte, size)
+			for i := range blocks {
+				blocks[i] = make([]byte, payloadLen)
+				rng.FillCoefficients(blocks[i])
+			}
+			seg, err := NewSegment(SegmentID{Origin: 9, Seq: 2}, blocks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var src *Decoder
+			if deferred {
+				src = NewDeferredDecoder(seg.ID, size, payloadLen)
+			} else {
+				src = NewDecoder(seg.ID, size, payloadLen)
+			}
+			if src.Recode(rng) != nil {
+				t.Fatal("rank-0 decoder recoded a block")
+			}
+			// Feed only 4 of 6 dimensions into the source decoder.
+			for src.Rank() < 4 {
+				if _, err := src.Add(seg.Encode(rng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// A sink fed only recoded blocks must plateau at the source's
+			// rank: the exchange cannot invent dimensions.
+			sink := NewDecoder(seg.ID, size, payloadLen)
+			for i := 0; i < 64; i++ {
+				cb := src.Recode(rng)
+				if cb == nil {
+					t.Fatal("partial decoder refused to recode")
+				}
+				if cb.Seg != seg.ID || len(cb.Coeffs) != size || len(cb.Payload) != payloadLen {
+					t.Fatalf("recoded block has wrong shape: %+v", cb)
+				}
+				if _, err := sink.Add(cb); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if sink.Rank() != 4 {
+				t.Fatalf("sink rank %d from rank-4 source, want exactly 4", sink.Rank())
+			}
+			// Complete the source; recoded blocks must now finish the sink,
+			// and the decode must be byte-identical to the originals.
+			for !src.Complete() {
+				if _, err := src.Add(seg.Encode(rng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for !sink.Complete() {
+				if _, err := sink.Add(src.Recode(rng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got, err := sink.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range blocks {
+				if string(got[i]) != string(blocks[i]) {
+					t.Fatalf("decoded block %d differs from original", i)
+				}
+			}
+		})
+	}
+}

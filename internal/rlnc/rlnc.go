@@ -415,6 +415,46 @@ func (d *Decoder) newRow(n int) []byte {
 	return make([]byte, n)
 }
 
+// Recode returns one fresh random linear combination of the decoder's
+// received space — the server-side analogue of a peer recoding its holding,
+// used for shard-to-shard exchange of partial collection state. The
+// combination spans the rank-r subspace the decoder has accumulated, so a
+// receiver missing any of those dimensions almost surely gains rank from
+// it. One coefficient is forced non-zero exactly as in RecodeInto, so the
+// output is never the zero vector. Returns nil for a rank-0 decoder (there
+// is nothing to combine) and for rank-only decoders (no payload to carry).
+func (d *Decoder) Recode(rng *randx.Rand) *CodedBlock {
+	rows, payloads := d.coeffs, d.payloads
+	if d.deferred {
+		// Deferred decoders keep the raw innovative blocks; their span equals
+		// the reduced basis's, and they carry the payloads.
+		rows, payloads = d.rawCoeffs, d.rawPayloads
+	}
+	if len(rows) == 0 || d.payloadLen == 0 || len(payloads) != len(rows) {
+		return nil
+	}
+	out := &CodedBlock{
+		Seg:     d.seg,
+		Coeffs:  make([]byte, d.size),
+		Payload: make([]byte, d.payloadLen),
+	}
+	anchor := rng.Intn(len(rows))
+	for i := range rows {
+		var c byte
+		if i == anchor {
+			c = rng.Coefficient()
+		} else {
+			c = byte(rng.Intn(256))
+		}
+		if c == 0 {
+			continue
+		}
+		gf256.AddMulSlice(out.Coeffs, c, rows[i])
+		gf256.AddMulSlice(out.Payload, c, payloads[i])
+	}
+	return out
+}
+
 // Release hands the decoder's row storage back to the slab free list (for
 // pooled decoders) and empties the decoder. The caller must not retain
 // slices previously returned by a deferred Decode's internal buffers; the

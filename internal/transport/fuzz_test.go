@@ -40,6 +40,14 @@ func FuzzDecodeMessage(f *testing.F) {
 				Payload: []byte("payload"),
 			},
 		},
+		{
+			Type: MsgExchange, From: 6, To: 5,
+			Block: &rlnc.CodedBlock{
+				Seg:     rlnc.SegmentID{Origin: 9, Seq: 2},
+				Coeffs:  []byte{4, 5, 6, 7},
+				Payload: []byte("recoded"),
+			},
+		},
 	}
 	for _, m := range seeds {
 		frame, err := EncodeMessage(m)

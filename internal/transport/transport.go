@@ -36,6 +36,12 @@ const (
 	// MsgInventory answers a pull's WantInventory with a compact digest of
 	// the sender's buffered segments.
 	MsgInventory
+	// MsgExchange carries a recoded block between fleet shards: a server
+	// that received an innovative block for a segment another shard owns
+	// recodes its collection and forwards the combination to the owner.
+	// The payload is identical to MsgBlock; the distinct type keeps pull
+	// accounting (RTT, policy feedback) off the server-to-server path.
+	MsgExchange
 )
 
 // String names the message type for logs.
@@ -51,6 +57,8 @@ func (t MsgType) String() string {
 		return "empty"
 	case MsgInventory:
 		return "inventory"
+	case MsgExchange:
+		return "exchange"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -64,7 +72,7 @@ type Message struct {
 	// Seg is set for MsgSegmentComplete, and for MsgPullRequest when
 	// HasHint is true (the segment the puller wants).
 	Seg rlnc.SegmentID
-	// Block is set for MsgBlock.
+	// Block is set for MsgBlock and MsgExchange.
 	Block *rlnc.CodedBlock
 	// HasHint marks a MsgPullRequest carrying a segment hint in Seg. A
 	// hintless request encodes to the legacy empty payload, so blind pulls

@@ -29,6 +29,7 @@ import (
 //	                           a blind pull.
 // MsgEmpty payload:           (empty)
 // MsgInventory payload:       u32 n | n × (u64 origin | u64 seq | u16 blocks)
+// MsgExchange payload:        identical to MsgBlock
 
 // maxFrameSize bounds a frame body, both on the read side (guarding
 // against corrupt length prefixes) and on the encode side (a frame the
@@ -54,7 +55,7 @@ func EncodeMessage(m *Message) ([]byte, error) {
 	binary.BigEndian.PutUint64(body[1:], uint64(m.From))
 	binary.BigEndian.PutUint64(body[9:], uint64(m.To))
 	switch m.Type {
-	case MsgBlock:
+	case MsgBlock, MsgExchange:
 		if m.Block == nil {
 			return nil, fmt.Errorf("transport: %v without block", m.Type)
 		}
@@ -118,7 +119,7 @@ func DecodeMessage(body []byte) (*Message, error) {
 	}
 	rest := body[headerLen:]
 	switch m.Type {
-	case MsgBlock:
+	case MsgBlock, MsgExchange:
 		var origin, seq uint64
 		var err error
 		if origin, rest, err = readUint64(rest); err != nil {

@@ -29,6 +29,7 @@ package p2pcollect
 
 import (
 	"p2pcollect/internal/analysis"
+	"p2pcollect/internal/fleet"
 	"p2pcollect/internal/gf256"
 	"p2pcollect/internal/live"
 	"p2pcollect/internal/obs"
@@ -133,7 +134,19 @@ type (
 	// PullPolicy schedules a live server's pulls: which peer to probe and,
 	// optionally, which segment to ask for. See NewPullPolicy.
 	PullPolicy = pullsched.Policy
+	// DeliveryJournal is a fleet's shared delivery-dedup: whichever shard
+	// first reaches full rank on a segment claims it, so OnSegment fires
+	// exactly once fleet-wide. Share one journal across every in-process
+	// shard (ClusterConfig.Fleet does this for you); separate processes
+	// each run their own and rely on completion notices for best-effort
+	// cross-process dedup.
+	DeliveryJournal = fleet.Journal
 )
+
+// NewDeliveryJournal returns a delivery journal remembering up to cap
+// segments (cap <= 0 selects a ~1M-entry default). Set it on
+// ServerConfig.Journal for every shard of a fleet.
+func NewDeliveryJournal(cap int) *DeliveryJournal { return fleet.NewJournal(cap) }
 
 // StartCluster boots an in-process live deployment: peers on a random
 // overlay plus logging servers, all running real protocol loops.
