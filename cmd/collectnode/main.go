@@ -23,6 +23,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -61,6 +62,9 @@ func run(args []string) error {
 		shards        = fs.Int("shards", 0, "server mode: total shard count of the fleet this server belongs to (0 or 1 = standalone)")
 		shardID       = fs.Int("shard-id", 0, "server mode: this server's shard index in [0, shards)")
 		shardBook     = fs.String("shard-book", "", "server mode: shardID=nodeID,... mapping every fleet shard to its transport id (addresses come from -book)")
+		walDir        = fs.String("wal-dir", "", "server mode: persist collection state in a write-ahead log under this directory; a restart recovers and resumes (empty = in-RAM only)")
+		walSync       = fs.String("wal-sync", "interval", "server mode: WAL fsync policy: none, interval (group commit), or always")
+		snapshotEvery = fs.Int("snapshot-every", 0, "server mode: snapshot decoder state every N logged blocks to bound replay (0 = default 8192)")
 		seed          = fs.Int64("seed", time.Now().UnixNano(), "random seed")
 		outPath       = fs.String("out", "", "server mode: append recovered records to this CSV file")
 		statsAddr     = fs.String("stats-addr", "", "serve live JSON stats over HTTP on this address (e.g. 127.0.0.1:8080)")
@@ -141,6 +145,17 @@ func run(args []string) error {
 			DebugAddr:     *debugAddr,
 			DecodeWorkers: *decodeWorkers,
 		}
+		if *walDir != "" {
+			sm, err := p2pcollect.ParseWALSyncMode(*walSync)
+			if err != nil {
+				return err
+			}
+			srvCfg.Durability = p2pcollect.Durability{
+				Dir:           *walDir,
+				Sync:          sm,
+				SnapshotEvery: *snapshotEvery,
+			}
+		}
 		if *shards > 1 {
 			sp, err := parseShardBook(*shardBook)
 			if err != nil {
@@ -151,7 +166,19 @@ func run(args []string) error {
 			srvCfg.ShardPeers = sp
 			// Each process runs its own journal: it dedups local decodes;
 			// cross-process dedup rides on the fleet's completion notices.
-			srvCfg.Journal = p2pcollect.NewDeliveryJournal(0)
+			// With a WAL directory the journal is durable too, so a
+			// restarted shard never re-delivers a segment it already
+			// claimed.
+			if *walDir != "" {
+				j, jc, err := p2pcollect.OpenDeliveryJournal(filepath.Join(*walDir, "journal.claims"), 0)
+				if err != nil {
+					return err
+				}
+				defer jc.Close()
+				srvCfg.Journal = j
+			} else {
+				srvCfg.Journal = p2pcollect.NewDeliveryJournal(0)
+			}
 		}
 		srv, err := p2pcollect.NewServer(tr, srvCfg)
 		if err != nil {

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"p2pcollect/internal/collect/store"
+	"p2pcollect/internal/collect/store/wal"
 	"p2pcollect/internal/metrics"
 	"p2pcollect/internal/obs"
 	"p2pcollect/internal/peercore"
@@ -58,8 +59,16 @@ type Config struct {
 	// forwards the driver's serialization — policies are not thread-safe.
 	Policy pullsched.Policy
 	// Store overrides the segment-state backend; nil builds an in-memory
-	// store from SegmentSize/FinishedCap/DecodeWorkers/Sink.
+	// store from SegmentSize/FinishedCap/DecodeWorkers/Sink — or, when
+	// Durability.Dir is set, a durable WAL store recovered from that
+	// directory.
 	Store store.Store
+	// Durability, when Dir is non-empty, persists segment state in a
+	// write-ahead log + snapshot store under that directory (ignored when
+	// Store is supplied). A service built over an existing WAL directory
+	// recovers its pre-crash collections; Start flushes any that had
+	// already reached full rank through the normal delivery path.
+	Durability wal.Config
 	// Sink receives the collector's protocol events (only used when the
 	// service builds its own store).
 	Sink peercore.EventSink
@@ -82,6 +91,9 @@ type Config struct {
 	CollectTime   *obs.Histogram // first block → decode, driver-clock seconds
 	DecodeLatency *obs.Histogram // payload-solve wall seconds
 	DecodeQueue   *obs.Gauge     // decode-pool backlog
+	WALAppend     *obs.Histogram // per-record WAL append wall seconds
+	WALBytes      *obs.Gauge     // live log bytes on disk
+	SnapshotAge   *obs.Gauge     // seconds since the last snapshot
 }
 
 // BlockResult reports what one received block did.
@@ -139,12 +151,25 @@ func New(cfg Config) (*Service, error) {
 	st := cfg.Store
 	if st == nil {
 		var err error
-		st, err = store.NewMemory(store.MemoryConfig{
-			SegmentSize:  cfg.SegmentSize,
-			FinishedCap:  cfg.FinishedCap,
-			DeferPayload: cfg.DecodeWorkers > 0,
-			Sink:         cfg.Sink,
-		})
+		if cfg.Durability.Dir != "" {
+			st, err = wal.Open(wal.Options{
+				Config:        cfg.Durability,
+				SegmentSize:   cfg.SegmentSize,
+				FinishedCap:   cfg.FinishedCap,
+				DeferPayload:  cfg.DecodeWorkers > 0,
+				Sink:          cfg.Sink,
+				AppendLatency: cfg.WALAppend,
+				WALBytes:      cfg.WALBytes,
+				SnapshotAge:   cfg.SnapshotAge,
+			})
+		} else {
+			st, err = store.NewMemory(store.MemoryConfig{
+				SegmentSize:  cfg.SegmentSize,
+				FinishedCap:  cfg.FinishedCap,
+				DeferPayload: cfg.DecodeWorkers > 0,
+				Sink:         cfg.Sink,
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -165,11 +190,29 @@ func New(cfg Config) (*Service, error) {
 
 // Start fixes the delivery callback and spins up the decode pool if
 // configured. Call before the driver's loops run.
+//
+// If the store recovered collections that reached full rank before a crash
+// but whose completion never became durable, Start flushes each through
+// the normal completion path — finished set, delivery gate, decode — so a
+// recovered segment is delivered exactly as a freshly decoded one would
+// be, and dropped when the journal shows another shard already claimed it.
 func (s *Service) Start(deliver func(seg rlnc.SegmentID, blocks [][]byte)) {
 	s.deliver = deliver
 	s.started = true
 	if s.cfg.DecodeWorkers > 0 {
 		s.pool = newDecodePool(s.cfg.DecodeWorkers, deliver, s.cfg.DecodeLatency, s.cfg.DecodeQueue)
+	}
+	if rec, ok := s.st.(store.Recovered); ok {
+		for _, seg := range rec.RecoveredDecoded() {
+			col := s.st.Collection(seg)
+			if col == nil || col.RankDeficit() != 0 {
+				continue
+			}
+			if flush := s.complete(seg, col); flush != nil {
+				// No driver loop runs yet, so invoking directly is safe.
+				flush()
+			}
+		}
 	}
 }
 
@@ -180,7 +223,33 @@ func (s *Service) Close() {
 		s.pool.close()
 		s.pool = nil
 	}
-	s.st.Close() //nolint:errcheck // in-memory store cannot fail
+	s.st.Close() //nolint:errcheck // durable stores log write errors as they happen
+}
+
+// Crash simulates abrupt process death for crash-recovery tests: the
+// decode pool is drained (its segments were claimed before being
+// enqueued), then the store's buffered log writes are dropped and its
+// files closed without a final snapshot — exactly the state a killed
+// process leaves on disk. Stores without crash support just close.
+func (s *Service) Crash() {
+	if s.pool != nil {
+		s.pool.close()
+		s.pool = nil
+	}
+	if c, ok := s.st.(store.Crasher); ok {
+		c.Crash()
+		return
+	}
+	s.st.Close() //nolint:errcheck // crash path
+}
+
+// Recovery reports what the durable store reconstructed at open, and
+// whether this service has one.
+func (s *Service) Recovery() (wal.RecoveryStats, bool) {
+	if w, ok := s.st.(*wal.Store); ok {
+		return w.Recovery(), true
+	}
+	return wal.RecoveryStats{}, false
 }
 
 // Policy returns the service's pull policy.

@@ -1,0 +1,33 @@
+package store_test
+
+import (
+	"testing"
+
+	"p2pcollect/internal/collect/store"
+	"p2pcollect/internal/collect/store/storetest"
+)
+
+// TestMemoryConformance runs the reference in-RAM store through the shared
+// store.Store conformance suite (including the pinned golden differential
+// stream every implementation must match byte-for-byte).
+func TestMemoryConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) store.Store {
+		m, err := store.NewMemory(store.MemoryConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	})
+}
+
+// TestMemoryConformanceDeferred covers the deferred-decode configuration,
+// which must be observationally identical.
+func TestMemoryConformanceDeferred(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) store.Store {
+		m, err := store.NewMemory(store.MemoryConfig{DeferPayload: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	})
+}

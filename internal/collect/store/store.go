@@ -39,6 +39,9 @@ type Store interface {
 	// storage (callers that hand the collection elsewhere — e.g. a decode
 	// pool — own the release).
 	Forget(seg rlnc.SegmentID)
+	// Range visits every open collection, in no particular order. Callers
+	// must not mutate the store while ranging.
+	Range(f func(seg rlnc.SegmentID, col *peercore.Collection))
 	// MarkFinished records a completed segment in the bounded finished set,
 	// evicting the oldest entry when full.
 	MarkFinished(seg rlnc.SegmentID)
@@ -46,6 +49,26 @@ type Store interface {
 	Finished(seg rlnc.SegmentID) bool
 	// Close releases every open collection's storage.
 	Close() error
+}
+
+// Recovered is the optional capability of durable stores: crash recovery
+// can reconstruct collections that reached full rank before the crash but
+// whose completion never became durable. The collection service flushes
+// these through its normal completion path (finished set, delivery gate,
+// decode pool) at Start, so a recovered segment is delivered exactly as a
+// freshly decoded one would be — and dropped if the delivery journal shows
+// another party already claimed it.
+type Recovered interface {
+	// RecoveredDecoded returns the segments whose recovered collections
+	// are at full rank and still awaiting completion.
+	RecoveredDecoded() []rlnc.SegmentID
+}
+
+// Crasher is the optional test capability of durable stores: Crash
+// simulates abrupt process death by abandoning all in-RAM state and
+// buffered writes and closing files without snapshotting or syncing.
+type Crasher interface {
+	Crash()
 }
 
 // MemoryConfig parameterizes an in-memory store.
@@ -146,6 +169,28 @@ func (m *Memory) Forget(seg rlnc.SegmentID) {
 	}
 }
 
+// Range implements Store.
+func (m *Memory) Range(f func(seg rlnc.SegmentID, col *peercore.Collection)) {
+	if m.collector != nil {
+		m.collector.Range(f)
+	}
+}
+
+// Restore opens a collection rebuilt from snapshotted state (see
+// peercore.Collector.Restore). A store built without a segment size infers
+// it from the first basis row.
+func (m *Memory) Restore(seg rlnc.SegmentID, state, payloadLen int, basis []*rlnc.CodedBlock) error {
+	if m.collector == nil {
+		if len(basis) == 0 {
+			return errors.New("store: cannot restore an empty basis before the segment size is known")
+		}
+		m.cfg.SegmentSize = basis[0].SegmentSize()
+		m.collector = m.newCollector(m.cfg.SegmentSize)
+	}
+	_, err := m.collector.Restore(seg, state, payloadLen, basis)
+	return err
+}
+
 // Finished implements Store.
 func (m *Memory) Finished(seg rlnc.SegmentID) bool { return m.finished[seg] }
 
@@ -167,21 +212,33 @@ func (m *Memory) MarkFinished(seg rlnc.SegmentID) {
 // FinishedCount returns how many completed segments the store remembers.
 func (m *Memory) FinishedCount() int { return len(m.finished) }
 
+// RangeFinished visits the finished set oldest-first — the eviction order,
+// so a restore that replays the visits through MarkFinished rebuilds an
+// identical ring. Callers must not mutate the store while ranging.
+func (m *Memory) RangeFinished(f func(seg rlnc.SegmentID)) {
+	for i := 0; i < m.ringSize; i++ {
+		f(m.finishedRing[(m.ringHead+i)%len(m.finishedRing)])
+	}
+}
+
 // Close implements Store: every open collection's pooled rows go back to
-// the slab free list.
+// the slab free list, and the finished set is cleared — a reused store
+// starts empty instead of reporting stale Finished hits.
 func (m *Memory) Close() error {
-	if m.collector == nil {
-		return nil
-	}
-	open := make([]rlnc.SegmentID, 0, m.collector.OpenCount())
-	m.collector.Range(func(seg rlnc.SegmentID, _ *peercore.Collection) {
-		open = append(open, seg)
-	})
-	for _, seg := range open {
-		if col := m.collector.Collection(seg); col != nil {
-			col.Release()
+	if m.collector != nil {
+		open := make([]rlnc.SegmentID, 0, m.collector.OpenCount())
+		m.collector.Range(func(seg rlnc.SegmentID, _ *peercore.Collection) {
+			open = append(open, seg)
+		})
+		for _, seg := range open {
+			if col := m.collector.Collection(seg); col != nil {
+				col.Release()
+			}
+			m.collector.Forget(seg)
 		}
-		m.collector.Forget(seg)
 	}
+	clear(m.finished)
+	m.finishedRing = nil
+	m.ringHead, m.ringSize = 0, 0
 	return nil
 }

@@ -1,0 +1,494 @@
+package wal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"p2pcollect/internal/collect/store"
+	"p2pcollect/internal/collect/store/storetest"
+	"p2pcollect/internal/peercore"
+	"p2pcollect/internal/randx"
+	"p2pcollect/internal/rlnc"
+)
+
+// open builds a durable store in dir with test-friendly defaults; tweak
+// overrides fields after defaulting.
+func openStore(t *testing.T, dir string, tweak func(*Options)) *Store {
+	t.Helper()
+	opts := Options{Config: Config{Dir: dir, Sync: SyncAlways}}
+	if tweak != nil {
+		tweak(&opts)
+	}
+	w, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func makeSegment(t *testing.T, rng *randx.Rand, id rlnc.SegmentID, s, payloadLen int) *rlnc.Segment {
+	t.Helper()
+	blocks := make([][]byte, s)
+	for i := range blocks {
+		blocks[i] = make([]byte, payloadLen)
+		rng.FillCoefficients(blocks[i])
+	}
+	seg, err := rlnc.NewSegment(id, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seg
+}
+
+// TestConformance runs the durable store through the shared store.Store
+// suite: same ops table, same golden differential stream as Memory,
+// byte-identical outcomes required. Snapshots fire mid-stream (tiny
+// SnapshotEvery) so compaction is exercised under the differential too.
+func TestConformance(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) store.Store {
+		return openStore(t, t.TempDir(), func(o *Options) {
+			o.SnapshotEvery = 64
+			o.SegmentBytes = 4096
+		})
+	})
+}
+
+// TestConformanceIntervalSync re-runs the suite in the default group-commit
+// mode (durability is weaker; observable behavior must be identical).
+func TestConformanceIntervalSync(t *testing.T) {
+	storetest.Run(t, func(t *testing.T) store.Store {
+		return openStore(t, t.TempDir(), func(o *Options) {
+			o.Sync = SyncInterval
+		})
+	})
+}
+
+// TestRecordRoundTrip covers the record codec directly.
+func TestRecordRoundTrip(t *testing.T) {
+	seg := rlnc.SegmentID{Origin: 5, Seq: 77}
+	recs := []record{
+		{typ: recBlock, seg: seg, coeffs: []byte{1, 2, 3}, payload: []byte{9, 8, 7, 6}},
+		{typ: recBlock, seg: seg, coeffs: []byte{4, 5, 6}}, // rank-only: payload nil
+		{typ: recFinished, seg: seg},
+		{typ: recForget, seg: seg},
+	}
+	var buf []byte
+	for _, r := range recs {
+		buf = appendRecord(buf, r)
+	}
+	off := 0
+	for i, want := range recs {
+		got, n, err := decodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got.typ != want.typ || got.seg != want.seg ||
+			!bytes.Equal(got.coeffs, want.coeffs) || !bytes.Equal(got.payload, want.payload) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, want)
+		}
+		if (got.payload == nil) != (want.payload == nil) {
+			t.Fatalf("record %d: payload nil-ness lost", i)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+
+	// Every truncation of the first record is torn, never corrupt.
+	for cut := 1; cut < frameHeaderSize+recs[0].bodySize(); cut++ {
+		if _, _, err := decodeRecord(buf[:cut]); err != errTornRecord {
+			t.Fatalf("cut %d: err = %v, want torn", cut, err)
+		}
+	}
+	// A flipped body bit is corrupt.
+	bad := append([]byte(nil), buf...)
+	bad[frameHeaderSize+3] ^= 0x40
+	if _, _, err := decodeRecord(bad); err != ErrCorrupt {
+		t.Fatalf("bit flip: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCloseReopen checks the clean-shutdown path: Close snapshots, so a
+// reopen is a pure snapshot load (no replay) that resumes exact rank and
+// state and decodes to the same bytes.
+func TestCloseReopen(t *testing.T) {
+	for _, defer_ := range []bool{false, true} {
+		name := "eager"
+		if defer_ {
+			name = "deferred"
+		}
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			rng := randx.New(3)
+			const s, payloadLen = 5, 48
+			idA := rlnc.SegmentID{Origin: 1, Seq: 1}
+			idB := rlnc.SegmentID{Origin: 1, Seq: 2}
+			segA := makeSegment(t, rng, idA, s, payloadLen)
+			segB := makeSegment(t, rng, idB, s, payloadLen)
+
+			w := openStore(t, dir, func(o *Options) { o.DeferPayload = defer_ })
+			for i := 0; i < s-2; i++ {
+				if _, _, err := w.Receive(1, segA.Encode(rng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			w.MarkFinished(idB)
+			wantRank := w.Collection(idA).Rank()
+			wantState := w.Collection(idA).State()
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			w2 := openStore(t, dir, func(o *Options) { o.DeferPayload = defer_ })
+			defer w2.Close() //nolint:errcheck // tmp dir
+			rs := w2.Recovery()
+			if !rs.SnapshotLoaded {
+				t.Error("no snapshot loaded after clean Close")
+			}
+			if rs.ReplayedRecords != 0 {
+				t.Errorf("replayed %d records after clean Close, want 0", rs.ReplayedRecords)
+			}
+			col := w2.Collection(idA)
+			if col == nil {
+				t.Fatal("segment A not recovered")
+			}
+			if col.Rank() != wantRank || col.State() != wantState {
+				t.Errorf("recovered rank/state = %d/%d, want %d/%d",
+					col.Rank(), col.State(), wantRank, wantState)
+			}
+			if !w2.Finished(idB) {
+				t.Error("finished set not recovered")
+			}
+
+			// Finishing the segment post-recovery decodes the source bytes.
+			for col.RankDeficit() > 0 {
+				if _, _, err := w2.Receive(2, segA.Encode(rng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			decoded, err := col.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, want := range segA.Blocks {
+				if !bytes.Equal(decoded[i], want) {
+					t.Fatalf("decoded block %d differs after recovery", i)
+				}
+			}
+			_ = segB
+		})
+	}
+}
+
+// TestCrashRecoveryExactRank checks the headline guarantee: in SyncAlways
+// mode an abrupt crash loses nothing — recovery replays the tail and
+// resumes every collection at the exact pre-crash rank and state.
+func TestCrashRecoveryExactRank(t *testing.T) {
+	dir := t.TempDir()
+	rng := randx.New(11)
+	const s, payloadLen, nSegs = 6, 64, 4
+	segs := make([]*rlnc.Segment, nSegs)
+	for i := range segs {
+		segs[i] = makeSegment(t, rng, rlnc.SegmentID{Origin: 9, Seq: uint64(i)}, s, payloadLen)
+	}
+
+	w := openStore(t, dir, nil)
+	for i := 0; i < 40; i++ {
+		src := segs[rng.Intn(nSegs)]
+		if _, _, err := w.Receive(1, src.Encode(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	type frozen struct{ rank, state int }
+	want := map[rlnc.SegmentID]frozen{}
+	w.Range(func(seg rlnc.SegmentID, col *peercore.Collection) {
+		want[seg] = frozen{col.Rank(), col.State()}
+	})
+	w.Crash()
+
+	w2 := openStore(t, dir, nil)
+	defer w2.Close() //nolint:errcheck // tmp dir
+	rs := w2.Recovery()
+	if rs.SnapshotLoaded {
+		t.Error("unexpected snapshot after crash (none was written)")
+	}
+	if rs.ReplayedRecords == 0 {
+		t.Error("no records replayed")
+	}
+	got := map[rlnc.SegmentID]frozen{}
+	w2.Range(func(seg rlnc.SegmentID, col *peercore.Collection) {
+		got[seg] = frozen{col.Rank(), col.State()}
+	})
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d collections, want %d", len(got), len(want))
+	}
+	for seg, f := range want {
+		if got[seg] != f {
+			t.Errorf("%v: recovered %+v, want %+v", seg, got[seg], f)
+		}
+	}
+	if rs.TotalRank == 0 || rs.OpenSegments != nSegs {
+		t.Errorf("stats: %+v", rs)
+	}
+}
+
+// TestTornTail simulates a crash mid-append at the disk level: bytes of an
+// incomplete record at the log tail. Recovery reports the torn tail,
+// discards it, and the next recovery is clean.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	rng := randx.New(13)
+	src := makeSegment(t, rng, rlnc.SegmentID{Origin: 2, Seq: 2}, 4, 32)
+
+	w := openStore(t, dir, nil)
+	for i := 0; i < 3; i++ {
+		if _, _, err := w.Receive(1, src.Encode(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantRank := w.Collection(src.ID).Rank()
+	w.Crash()
+
+	// Append half a record to the newest log file.
+	logs, _, err := scanDir(dir)
+	if err != nil || len(logs) == 0 {
+		t.Fatalf("scan: %v, %d logs", err, len(logs))
+	}
+	full := appendRecord(nil, record{typ: recBlock, seg: src.ID,
+		coeffs: []byte{1, 2, 3, 4}, payload: make([]byte, 32)})
+	path := filepath.Join(dir, logName(logs[len(logs)-1]))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[:len(full)/2]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	w2 := openStore(t, dir, nil)
+	if !w2.Recovery().TornTail {
+		t.Error("torn tail not reported")
+	}
+	if got := w2.Collection(src.ID).Rank(); got != wantRank {
+		t.Errorf("rank after torn-tail recovery = %d, want %d", got, wantRank)
+	}
+	w2.Crash()
+
+	// The torn bytes were truncated: a third recovery is clean.
+	w3 := openStore(t, dir, nil)
+	defer w3.Close() //nolint:errcheck // tmp dir
+	if w3.Recovery().TornTail {
+		t.Error("torn tail reported again after truncation")
+	}
+	if got := w3.Collection(src.ID).Rank(); got != wantRank {
+		t.Errorf("rank after second recovery = %d, want %d", got, wantRank)
+	}
+}
+
+// TestIntervalSyncCrashBounded: in group-commit mode a crash may lose the
+// unflushed tail, but never recovers MORE than was held, and what it
+// recovers is a valid prefix the protocol can top up.
+func TestIntervalSyncCrashBounded(t *testing.T) {
+	dir := t.TempDir()
+	rng := randx.New(17)
+	src := makeSegment(t, rng, rlnc.SegmentID{Origin: 3, Seq: 3}, 8, 32)
+
+	w := openStore(t, dir, func(o *Options) { o.Sync = SyncInterval })
+	for i := 0; i < 6; i++ {
+		if _, _, err := w.Receive(1, src.Encode(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preRank := w.Collection(src.ID).Rank()
+	w.Crash() // drops anything the flusher had not yet committed
+
+	w2 := openStore(t, dir, nil)
+	defer w2.Close() //nolint:errcheck // tmp dir
+	var gotRank int
+	if col := w2.Collection(src.ID); col != nil {
+		gotRank = col.Rank()
+	}
+	if gotRank > preRank {
+		t.Errorf("recovered rank %d exceeds pre-crash rank %d", gotRank, preRank)
+	}
+	// Whatever came back, the segment still completes and decodes.
+	for w2.Collection(src.ID) == nil || w2.Collection(src.ID).RankDeficit() > 0 {
+		if _, _, err := w2.Receive(2, src.Encode(rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	decoded, err := w2.Collection(src.ID).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range src.Blocks {
+		if !bytes.Equal(decoded[i], want) {
+			t.Fatalf("decoded block %d differs", i)
+		}
+	}
+}
+
+// TestSnapshotCompaction checks that snapshots rotate + prune: after many
+// finished segments the directory holds a bounded file set, and log bytes
+// do not accumulate per-block history for finished work.
+func TestSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	rng := randx.New(19)
+	const s, payloadLen = 3, 24
+	w := openStore(t, dir, func(o *Options) { o.SnapshotEvery = 16 })
+
+	for i := 0; i < 30; i++ {
+		id := rlnc.SegmentID{Origin: 4, Seq: uint64(i)}
+		src := makeSegment(t, rng, id, s, payloadLen)
+		for w.Collection(id) == nil || w.Collection(id).RankDeficit() > 0 {
+			if _, _, err := w.Receive(1, src.Encode(rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		w.MarkFinished(id)
+		w.Collection(id).Release()
+		w.Forget(id)
+	}
+	logs, snaps, err := scanDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 1 {
+		t.Errorf("%d snapshots on disk, want 1 (older pruned)", len(snaps))
+	}
+	if len(logs) > 3 {
+		t.Errorf("%d log segments on disk, want <= 3 after compaction", len(logs))
+	}
+	// Everything is finished, so the newest snapshot carries only the
+	// finished IDs — it must be tiny relative to the traffic logged.
+	info, err := os.Stat(filepath.Join(dir, snapName(snaps[len(snaps)-1])))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() > 4096 {
+		t.Errorf("snapshot is %dB for finished-only state, want small", info.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	w2 := openStore(t, dir, nil)
+	defer w2.Close() //nolint:errcheck // tmp dir
+	for i := 0; i < 30; i++ {
+		if !w2.Finished(rlnc.SegmentID{Origin: 4, Seq: uint64(i)}) {
+			t.Fatalf("segment %d lost from finished set", i)
+		}
+	}
+}
+
+// TestRecoveredDecoded: a collection at full rank whose completion never
+// became durable is reported for post-recovery delivery; completed ones are
+// not.
+func TestRecoveredDecoded(t *testing.T) {
+	dir := t.TempDir()
+	rng := randx.New(23)
+	const s = 3
+	idDone := rlnc.SegmentID{Origin: 6, Seq: 1}
+	idPend := rlnc.SegmentID{Origin: 6, Seq: 2}
+	w := openStore(t, dir, nil)
+	for _, id := range []rlnc.SegmentID{idDone, idPend} {
+		src := makeSegment(t, rng, id, s, 16)
+		for w.Collection(id) == nil || w.Collection(id).RankDeficit() > 0 {
+			if _, _, err := w.Receive(1, src.Encode(rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	w.MarkFinished(idDone)
+	w.Collection(idDone).Release()
+	w.Forget(idDone)
+	w.Crash()
+
+	w2 := openStore(t, dir, nil)
+	defer w2.Close() //nolint:errcheck // tmp dir
+	rec := w2.RecoveredDecoded()
+	if len(rec) != 1 || rec[0] != idPend {
+		t.Fatalf("RecoveredDecoded = %v, want [%v]", rec, idPend)
+	}
+	if w2.Recovery().DecodedPending != 1 {
+		t.Errorf("DecodedPending = %d, want 1", w2.Recovery().DecodedPending)
+	}
+}
+
+// TestJournal covers the durable delivery journal: claims persist across
+// reopen, the winner-take-all contract holds across restarts, and a torn
+// final claim record is truncated away.
+func TestJournal(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.claims")
+	segA := rlnc.SegmentID{Origin: 1, Seq: 10}
+	segB := rlnc.SegmentID{Origin: 1, Seq: 11}
+
+	j, jf, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.Claim(segA) {
+		t.Fatal("first claim lost")
+	}
+	if j.Claim(segA) {
+		t.Fatal("duplicate claim won")
+	}
+	if err := jf.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Claim(segB) {
+		t.Error("claim won after journal close (persist must have failed)")
+	}
+
+	// Simulate a crash mid-claim: torn record at the tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(make([]byte, claimRecordSize/2)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, jf2, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jf2.Close() //nolint:errcheck // tmp dir
+	if j2.Claim(segA) {
+		t.Error("restart forgot segA's claim — duplicate delivery")
+	}
+	if !j2.Claim(segB) {
+		t.Error("segB claim lost (it never persisted)")
+	}
+	if j2.Count() != 2 {
+		t.Errorf("journal count = %d, want 2", j2.Count())
+	}
+}
+
+// TestParseSyncMode pins the flag spellings.
+func TestParseSyncMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncMode
+		err  bool
+	}{
+		{"none", SyncNone, false},
+		{"interval", SyncInterval, false},
+		{"ALWAYS", SyncAlways, false},
+		{"", SyncInterval, false},
+		{"fsync", 0, true},
+	} {
+		got, err := ParseSyncMode(tc.in)
+		if (err != nil) != tc.err || got != tc.want {
+			t.Errorf("ParseSyncMode(%q) = %v, %v; want %v, err=%v", tc.in, got, err, tc.want, tc.err)
+		}
+		if err == nil && got.String() == "" {
+			t.Errorf("SyncMode(%v).String() empty", got)
+		}
+	}
+}

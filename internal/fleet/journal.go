@@ -21,27 +21,73 @@ type Journal struct {
 	ring      []rlnc.SegmentID
 	head      int
 	size      int
+	persister JournalPersister
+}
+
+// JournalPersister records winning claims durably. Persist is called under
+// the journal lock, after the claim is admitted in RAM but before Claim
+// returns true — so a caller that goes on to deliver knows the claim is
+// already on disk, and a crash between persist and delivery costs at most
+// that one delivery (at-most-once), never a duplicate. An error rolls the
+// in-RAM claim back and the Claim is lost (the next full-rank shard
+// retries it).
+type JournalPersister interface {
+	Persist(seg rlnc.SegmentID) error
 }
 
 // NewJournal builds a journal remembering up to cap deliveries; cap <= 0
 // selects DefaultJournalCap.
 func NewJournal(cap int) *Journal {
+	return NewJournalBacked(cap, nil, nil)
+}
+
+// NewJournalBacked builds a journal preloaded with previously persisted
+// claims (oldest first) and backed by p for new ones; both may be nil/empty.
+// Durable fleets share one backed journal so a shard restarted after a
+// crash cannot re-deliver a segment another shard (or its own pre-crash
+// self) already claimed.
+func NewJournalBacked(cap int, persisted []rlnc.SegmentID, p JournalPersister) *Journal {
 	if cap <= 0 {
 		cap = DefaultJournalCap
 	}
-	return &Journal{
+	j := &Journal{
 		delivered: make(map[rlnc.SegmentID]bool),
 		ring:      make([]rlnc.SegmentID, cap),
 	}
+	for _, seg := range persisted {
+		j.admit(seg)
+	}
+	j.persister = p
+	return j
 }
 
 // Claim records the segment as delivered and reports whether this call won
-// the claim (true exactly once per remembered segment).
+// the claim (true exactly once per remembered segment). A backed journal
+// persists the claim before returning true; if persistence fails the claim
+// is rolled back and false is returned, leaving the segment claimable.
 func (j *Journal) Claim(seg rlnc.SegmentID) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.delivered[seg] {
 		return false
+	}
+	j.admit(seg)
+	if j.persister != nil {
+		if err := j.persister.Persist(seg); err != nil {
+			// Roll back: pop the entry just placed at the logical tail.
+			j.size--
+			delete(j.delivered, seg)
+			return false
+		}
+	}
+	return true
+}
+
+// admit places seg in the ring and map, evicting the oldest entry when
+// full. Caller holds j.mu (or has exclusive access during construction).
+func (j *Journal) admit(seg rlnc.SegmentID) {
+	if j.delivered[seg] {
+		return
 	}
 	if j.size == len(j.ring) {
 		delete(j.delivered, j.ring[j.head])
@@ -51,7 +97,6 @@ func (j *Journal) Claim(seg rlnc.SegmentID) bool {
 	j.ring[(j.head+j.size)%len(j.ring)] = seg
 	j.size++
 	j.delivered[seg] = true
-	return true
 }
 
 // Delivered reports whether the segment has been claimed.

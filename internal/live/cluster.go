@@ -2,7 +2,10 @@ package live
 
 import (
 	"fmt"
+	"io"
+	"path/filepath"
 
+	"p2pcollect/internal/collect/store/wal"
 	"p2pcollect/internal/fleet"
 	"p2pcollect/internal/obs"
 	"p2pcollect/internal/pullsched"
@@ -59,6 +62,12 @@ type ClusterConfig struct {
 	// Cluster.Tracer). Zero disables tracing unless DebugAddr is set, which
 	// implies a default-capacity tracer so /debug/snapshot has a trace tail.
 	TraceCap int
+	// Durability, when Dir is non-empty, gives every server a write-ahead
+	// log under <Dir>/shard-<j> with the configured sync policy, and — in
+	// fleet mode — makes the shared delivery journal durable at
+	// <Dir>/journal.claims, so a restarted shard resumes its collections
+	// and never re-delivers a segment the fleet already claimed.
+	Durability wal.Config
 	// Seed makes the deployment reproducible.
 	Seed int64
 }
@@ -75,6 +84,10 @@ type Cluster struct {
 	Tracer *obs.RingTracer
 	// Debug is the cluster-wide debug server, nil unless DebugAddr was set.
 	Debug *obs.DebugServer
+
+	// journalFile seals the durable delivery journal on Stop, nil unless
+	// both Fleet and Durability.Dir were set.
+	journalFile io.Closer
 }
 
 // defaultClusterTraceCap sizes the shared ring tracer when DebugAddr implies
@@ -151,7 +164,16 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	var shardPeers map[int]transport.NodeID
 	if cfg.Fleet {
-		c.Journal = fleet.NewJournal(0)
+		if cfg.Durability.Dir != "" {
+			journal, jf, err := wal.OpenJournal(filepath.Join(cfg.Durability.Dir, "journal.claims"), 0)
+			if err != nil {
+				return fail(err)
+			}
+			c.Journal = journal
+			c.journalFile = jf
+		} else {
+			c.Journal = fleet.NewJournal(0)
+		}
 		shardPeers = make(map[int]transport.NodeID, cfg.Servers)
 		for j := 0; j < cfg.Servers; j++ {
 			shardPeers[j] = transport.NodeID(serverIDBase + j)
@@ -184,6 +206,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			srvCfg.ShardID = j
 			srvCfg.ShardPeers = shardPeers
 			srvCfg.Journal = c.Journal
+		}
+		if cfg.Durability.Dir != "" {
+			srvCfg.Durability = cfg.Durability
+			srvCfg.Durability.Dir = filepath.Join(cfg.Durability.Dir, fmt.Sprintf("shard-%d", j))
 		}
 		if c.Tracer != nil {
 			srvCfg.Tracer = c.Tracer
@@ -226,6 +252,10 @@ func (c *Cluster) Stop() {
 	}
 	for _, n := range c.Nodes {
 		n.Stop()
+	}
+	if c.journalFile != nil {
+		c.journalFile.Close() //nolint:errcheck // shutdown path
+		c.journalFile = nil
 	}
 }
 

@@ -127,7 +127,13 @@ func TestFleetShardKillChaos(t *testing.T) {
 	}
 	cfg := fleetClusterConfig(nil)
 	cfg.TraceCap = 1 << 14
-	cfg.Node.Gamma = 0.05 // ~20s mean TTL: blocks outlive the kill + recovery
+	// This test is about losing a *shard*, not about losing data to the
+	// protocol's own attrition: with the default Gamma/BufferCap a
+	// segment dimension can expire or be evicted from every peer buffer
+	// before the 30s recovery deadline, which is ordinary coupon loss,
+	// not a fleet bug. Make blocks outlive the whole window.
+	cfg.Node.Gamma = 0.005
+	cfg.Node.BufferCap = 8192
 	cfg.WrapTransport = func(tr transport.Transport) transport.Transport {
 		return transport.NewFaulty(tr, transport.FaultConfig{LossProb: 0.2},
 			randx.New(int64(tr.LocalID())*6151+3))

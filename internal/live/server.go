@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"p2pcollect/internal/collect"
+	"p2pcollect/internal/collect/store/wal"
 	"p2pcollect/internal/fleet"
 	"p2pcollect/internal/metrics"
 	"p2pcollect/internal/obs"
@@ -97,6 +98,15 @@ type ServerConfig struct {
 	// reaches full rank claims the segment, so OnSegment fires exactly once
 	// per segment across the fleet with no coordinator.
 	Journal *fleet.Journal
+
+	// Durability, when Dir is non-empty, persists the server's collection
+	// state in a write-ahead log + snapshot store under that directory. A
+	// server started over an existing WAL directory recovers: it loads the
+	// latest snapshot, replays the log tail (tolerating a torn final
+	// record), resumes every open segment at its pre-crash rank, and
+	// delivers any segment that had decoded but whose completion never
+	// became durable. Empty Dir keeps state purely in RAM, as before.
+	Durability wal.Config
 }
 
 func (c ServerConfig) validate() error {
@@ -234,6 +244,12 @@ func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
 		CollectTime:   s.obsCollect,
 		DecodeLatency: s.obsDecode,
 		DecodeQueue:   s.obsDecodeQ,
+		Durability:    cfg.Durability,
+	}
+	if cfg.Durability.Dir != "" {
+		svcCfg.WALAppend = s.reg.Histogram("walAppendLatency", obs.ExpBuckets(1e-7, 4, 16))
+		svcCfg.WALBytes = s.reg.Gauge("walBytes")
+		svcCfg.SnapshotAge = s.reg.Gauge("walSnapshotAgeSeconds")
 	}
 	if cfg.Journal != nil {
 		journal := cfg.Journal
@@ -272,6 +288,13 @@ func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
 	}
 	s.svc = svc
 	s.reg.RegisterCounters(svc.RangeFeedback)
+	if stats, ok := svc.Recovery(); ok {
+		s.reg.Gauge("walRecoverySeconds").Set(stats.Duration.Seconds())
+		s.reg.SetInfo("walRecovered", fmt.Sprintf(
+			"snapshot=%v segments=%d replayed=%d torn=%v rank=%d",
+			stats.SnapshotLoaded, stats.OpenSegments, stats.ReplayedRecords,
+			stats.TornTail, stats.TotalRank))
+	}
 	return s, nil
 }
 
@@ -336,6 +359,29 @@ func (s *Server) Stop() {
 	// drains its decode pool, delivering everything queued, then releases
 	// store state.
 	s.svc.Close()
+	if s.debug != nil {
+		s.debug.Close() //nolint:errcheck // shutdown path
+		s.debug = nil
+	}
+}
+
+// CrashStop hard-stops the server the way a killed process would, for
+// crash-recovery tests: the loops are stopped, but instead of the orderly
+// Close — which writes a final snapshot and fsyncs the log — the service
+// crashes its store, dropping buffered log records and closing files
+// as-is. A server restarted over the same WAL directory then exercises
+// real recovery: snapshot load plus log-tail replay.
+func (s *Server) CrashStop() {
+	s.startMu.Lock()
+	defer s.startMu.Unlock()
+	if !s.running {
+		return
+	}
+	s.running = false
+	close(s.stop)
+	s.tr.Close()
+	s.wg.Wait()
+	s.svc.Crash()
 	if s.debug != nil {
 		s.debug.Close() //nolint:errcheck // shutdown path
 		s.debug = nil

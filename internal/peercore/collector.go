@@ -1,6 +1,7 @@
 package peercore
 
 import (
+	"errors"
 	"fmt"
 
 	"p2pcollect/internal/randx"
@@ -52,6 +53,10 @@ type Collection struct {
 // State returns the collection-state counter.
 func (c *Collection) State() int { return c.state }
 
+// PayloadLen returns the payload size the collection expects (0 for
+// rank-only collections).
+func (c *Collection) PayloadLen() int { return c.payloadLen }
+
 // Rank returns the decoder rank.
 func (c *Collection) Rank() int { return c.dec.Rank() }
 
@@ -85,6 +90,12 @@ func (c *Collection) Decode() ([][]byte, error) { return c.dec.Decode() }
 // collections). Shard fleets exchange these so blocks that landed at the
 // wrong shard still reach the segment's owner.
 func (c *Collection) Recode(rng *randx.Rand) *rlnc.CodedBlock { return c.dec.Recode(rng) }
+
+// RangeBasis visits coded-block rows spanning the collection's received
+// space (see rlnc.Decoder.RangeBasis). Durable stores snapshot a
+// collection as its state counter plus these rows; Collector.Restore
+// rebuilds it from them.
+func (c *Collection) RangeBasis(f func(coeffs, payload []byte)) { c.dec.RangeBasis(f) }
 
 // Release returns the collection's decoder storage to the slab free list
 // (meaningful for deferred collections; harmless otherwise). Call it after
@@ -136,6 +147,45 @@ func (c *Collector) Open(seg rlnc.SegmentID, payloadLen int) *Collection {
 
 // Collection returns the segment's collection, or nil if never opened.
 func (c *Collector) Collection(seg rlnc.SegmentID) *Collection { return c.segs[seg] }
+
+// Restore opens a collection rebuilt from snapshotted state: basis holds
+// linearly independent coded blocks of the segment (what RangeBasis
+// visited), state is the collection-state counter, and payloadLen the
+// expected payload size (it matters when basis is empty — a collection can
+// hold state without rank if every block was a zero vector). The decoder
+// re-adds the basis, so rank, future innovation verdicts, and decoded
+// bytes match the pre-snapshot collection exactly; the rank invariant
+// len(basis) ≤ state ≤ s is enforced. No protocol events fire, and the
+// delivery/decode timestamps restart at zero — a restored collection never
+// re-fires a transition it fired before the snapshot. On error nothing
+// stays open.
+func (c *Collector) Restore(seg rlnc.SegmentID, state, payloadLen int, basis []*rlnc.CodedBlock) (*Collection, error) {
+	s := c.cfg.SegmentSize
+	switch {
+	case c.segs[seg] != nil:
+		return nil, fmt.Errorf("peercore: Restore(%v): collection already open", seg)
+	case state < 0 || state > s:
+		return nil, fmt.Errorf("peercore: Restore(%v): state %d outside [0, %d]", seg, state, s)
+	case len(basis) > state:
+		return nil, fmt.Errorf("peercore: Restore(%v): rank %d exceeds state %d", seg, len(basis), state)
+	case payloadLen < 0:
+		return nil, fmt.Errorf("peercore: Restore(%v): negative payload length", seg)
+	}
+	col := c.Open(seg, payloadLen)
+	for i, cb := range basis {
+		added, err := col.dec.Add(cb)
+		if err == nil && !added {
+			err = errors.New("dependent basis row")
+		}
+		if err != nil {
+			col.Release()
+			c.Forget(seg)
+			return nil, fmt.Errorf("peercore: Restore(%v): basis row %d: %w", seg, i, err)
+		}
+	}
+	col.state = state
+	return col, nil
+}
 
 // OpenCount returns how many collections are currently held.
 func (c *Collector) OpenCount() int { return len(c.segs) }

@@ -455,6 +455,29 @@ func (d *Decoder) Recode(rng *randx.Rand) *CodedBlock {
 	return out
 }
 
+// RangeBasis visits Rank() coded-block rows spanning exactly the decoder's
+// received space, in a stable order — the durable store snapshots these.
+// Re-adding every visited row (as coeffs/payload of a CodedBlock) to a
+// fresh decoder of the same shape reproduces the same rank, the same
+// innovation verdict for any future block, and byte-identical decoded
+// originals at full rank. Eager decoders yield their reduced basis rows;
+// deferred decoders yield the stashed raw blocks (the reduced rows carry
+// no payload there). payload is nil for rank-only decoders. The visited
+// slices alias decoder storage — copy before retaining.
+func (d *Decoder) RangeBasis(f func(coeffs, payload []byte)) {
+	rows, payloads := d.coeffs, d.payloads
+	if d.deferred {
+		rows, payloads = d.rawCoeffs, d.rawPayloads
+	}
+	for i, r := range rows {
+		var p []byte
+		if i < len(payloads) {
+			p = payloads[i]
+		}
+		f(r, p)
+	}
+}
+
 // Release hands the decoder's row storage back to the slab free list (for
 // pooled decoders) and empties the decoder. The caller must not retain
 // slices previously returned by a deferred Decode's internal buffers; the

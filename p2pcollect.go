@@ -28,7 +28,10 @@
 package p2pcollect
 
 import (
+	"io"
+
 	"p2pcollect/internal/analysis"
+	"p2pcollect/internal/collect/store/wal"
 	"p2pcollect/internal/fleet"
 	"p2pcollect/internal/gf256"
 	"p2pcollect/internal/live"
@@ -141,7 +144,46 @@ type (
 	// each run their own and rely on completion notices for best-effort
 	// cross-process dedup.
 	DeliveryJournal = fleet.Journal
+	// Durability configures a live server's write-ahead log (set it on
+	// ServerConfig.Durability): where the log lives, the fsync policy, and
+	// how often decoder state is snapshotted. A server restarted over the
+	// same directory recovers every open segment at its pre-crash rank.
+	Durability = wal.Config
+	// WALSyncMode selects when appended WAL records reach disk:
+	// WALSyncInterval (group commit, the default), WALSyncNone, or
+	// WALSyncAlways.
+	WALSyncMode = wal.SyncMode
+	// WALRecoveryStats reports what a restarted server reconstructed from
+	// its WAL directory (Server.Service().Recovery()).
+	WALRecoveryStats = wal.RecoveryStats
 )
+
+// WAL fsync policies for Durability.Sync.
+const (
+	WALSyncInterval = wal.SyncInterval
+	WALSyncNone     = wal.SyncNone
+	WALSyncAlways   = wal.SyncAlways
+)
+
+// ParseWALSyncMode parses "none", "interval", or "always" (the -wal-sync
+// flag vocabulary; "" selects interval).
+func ParseWALSyncMode(s string) (WALSyncMode, error) { return wal.ParseSyncMode(s) }
+
+// ServerRecovery reports what a durable server reconstructed from its WAL
+// directory when it was built, and whether the server is durable at all.
+func ServerRecovery(s *Server) (WALRecoveryStats, bool) { return s.Service().Recovery() }
+
+// OpenDeliveryJournal opens (or recovers) a durable delivery journal at
+// path: every claim is persisted and fsynced before the segment is
+// delivered, so a fleet shard restarted over the same file never delivers
+// a segment twice. Close the returned Closer when the fleet stops.
+func OpenDeliveryJournal(path string, cap int) (*DeliveryJournal, io.Closer, error) {
+	j, jf, err := wal.OpenJournal(path, cap)
+	if err != nil {
+		return nil, nil, err
+	}
+	return j, jf, nil
+}
 
 // NewDeliveryJournal returns a delivery journal remembering up to cap
 // segments (cap <= 0 selects a ~1M-entry default). Set it on
