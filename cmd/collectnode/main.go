@@ -65,6 +65,8 @@ func run(args []string) error {
 		walDir        = fs.String("wal-dir", "", "server mode: persist collection state in a write-ahead log under this directory; a restart recovers and resumes (empty = in-RAM only)")
 		walSync       = fs.String("wal-sync", "interval", "server mode: WAL fsync policy: none, interval (group commit), or always")
 		snapshotEvery = fs.Int("snapshot-every", 0, "server mode: snapshot decoder state every N logged blocks to bound replay (0 = default 8192)")
+		traceSample   = fs.Float64("trace-sample", 0, "peer mode: fraction of injected segments stamped with a wire-level trace id (0 = off, frames stay byte-identical)")
+		flightPath    = fs.String("flight-path", "", "server mode: write the crash flight-recorder dump here on hard stop or panic (empty = <wal-dir>/flight.bin when -wal-dir is set)")
 		seed          = fs.Int64("seed", time.Now().UnixNano(), "random seed")
 		outPath       = fs.String("out", "", "server mode: append recovered records to this CSV file")
 		statsAddr     = fs.String("stats-addr", "", "serve live JSON stats over HTTP on this address (e.g. 127.0.0.1:8080)")
@@ -110,6 +112,7 @@ func run(args []string) error {
 			Neighbors:   ids,
 			Seed:        *seed,
 			DebugAddr:   *debugAddr,
+			TraceSample: *traceSample,
 		})
 		if err != nil {
 			return err
@@ -144,6 +147,7 @@ func run(args []string) error {
 			Seed:          *seed,
 			DebugAddr:     *debugAddr,
 			DecodeWorkers: *decodeWorkers,
+			FlightPath:    *flightPath,
 		}
 		if *walDir != "" {
 			sm, err := p2pcollect.ParseWALSyncMode(*walSync)

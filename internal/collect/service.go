@@ -111,6 +111,10 @@ type BlockResult struct {
 	Finished bool
 	// Rejected: the block was malformed and no state moved.
 	Rejected bool
+	// Trace is the segment's effective sampled lineage after this block —
+	// the context adopted when the segment was first seen traced, or the
+	// zero context. Fleet drivers stamp exchange forwards with it.
+	Trace obs.TraceContext
 	// Flush, when non-nil, must be invoked exactly once after the driver
 	// releases its lock: it delivers the decoded segment (directly or via
 	// the decode pool, whose backpressure may block).
@@ -126,6 +130,7 @@ type Service struct {
 
 	fb        *metrics.CounterSet
 	firstSeen map[rlnc.SegmentID]float64
+	traceCtx  map[rlnc.SegmentID]obs.TraceContext
 	redundant int64
 
 	deliver   func(seg rlnc.SegmentID, blocks [][]byte)
@@ -303,9 +308,11 @@ func (s *Service) HandleInventory(now float64, from pullsched.PeerRef, inv []pul
 // HandleBlock runs one received block through the collection state machine.
 // pulled distinguishes pull replies (which train the policy and close pull
 // accounting) from side-channel blocks such as fleet exchange traffic
-// (which only feed the decoder). The caller must run the returned Flush,
-// if any, after releasing its lock.
-func (s *Service) HandleBlock(now float64, from pullsched.PeerRef, cb *rlnc.CodedBlock, pulled bool) BlockResult {
+// (which only feed the decoder). ctx is the block's wire trace context
+// (zero when the frame carried none); the segment adopts the first valid
+// context it sees and every later lifecycle event carries that lineage.
+// The caller must run the returned Flush, if any, after releasing its lock.
+func (s *Service) HandleBlock(now float64, from pullsched.PeerRef, cb *rlnc.CodedBlock, pulled bool, ctx obs.TraceContext) BlockResult {
 	res := BlockResult{Owned: s.Owns(cb.Seg)}
 	if s.st.Finished(cb.Seg) {
 		s.redundant++
@@ -321,6 +328,16 @@ func (s *Service) HandleBlock(now float64, from pullsched.PeerRef, cb *rlnc.Code
 	if _, seen := s.firstSeen[cb.Seg]; !seen {
 		s.firstSeen[cb.Seg] = now
 	}
+	if ctx.Valid() {
+		if _, ok := s.traceCtx[cb.Seg]; !ok {
+			if s.traceCtx == nil {
+				s.traceCtx = make(map[rlnc.SegmentID]obs.TraceContext)
+			}
+			s.traceCtx[cb.Seg] = ctx
+		}
+	}
+	res.Trace = s.traceCtx[cb.Seg]
+	tid, hop := res.Trace.ID, res.Trace.Hop
 	out, col, err := s.st.Receive(now, cb)
 	if err != nil {
 		s.redundant++
@@ -337,7 +354,7 @@ func (s *Service) HandleBlock(now float64, from pullsched.PeerRef, cb *rlnc.Code
 		}
 		s.tracer.Trace(obs.TraceEvent{
 			Seg: cb.Seg, Kind: obs.TraceServerRank, T: now,
-			Actor: s.cfg.Actor, N: col.Rank(),
+			Actor: s.cfg.Actor, N: col.Rank(), TraceID: tid, Hop: hop,
 		})
 	} else if pulled {
 		s.fb.Add(fbRedundant, 1)
@@ -345,7 +362,7 @@ func (s *Service) HandleBlock(now float64, from pullsched.PeerRef, cb *rlnc.Code
 	if out.Delivered {
 		s.tracer.Trace(obs.TraceEvent{
 			Seg: cb.Seg, Kind: obs.TraceDelivered, T: now,
-			Actor: s.cfg.Actor, N: col.State(),
+			Actor: s.cfg.Actor, N: col.State(), TraceID: tid, Hop: hop,
 		})
 	}
 	if pulled && res.Owned {
@@ -373,11 +390,17 @@ func (s *Service) HandleBlock(now float64, from pullsched.PeerRef, cb *rlnc.Code
 	}
 	s.tracer.Trace(obs.TraceEvent{
 		Seg: cb.Seg, Kind: obs.TraceDecoded, T: now,
-		Actor: s.cfg.Actor, N: col.Rank(),
+		Actor: s.cfg.Actor, N: col.Rank(), TraceID: tid, Hop: hop,
 	})
+	delete(s.traceCtx, cb.Seg)
 	res.Flush = s.complete(cb.Seg, col)
 	return res
 }
+
+// TraceCtx returns the sampled lineage adopted for an in-progress segment
+// (zero when untraced or already retired). Drivers stamp hinted pulls for
+// the segment with it so the pull leg joins the same span.
+func (s *Service) TraceCtx(seg rlnc.SegmentID) obs.TraceContext { return s.traceCtx[seg] }
 
 // complete retires a full-rank collection: finished + forgotten first (so
 // no later block can reach it), then delivery — via the pool, or decoded
@@ -422,6 +445,7 @@ func (s *Service) FinishRemote(seg rlnc.SegmentID) bool {
 		s.st.Forget(seg)
 	}
 	delete(s.firstSeen, seg)
+	delete(s.traceCtx, seg)
 	s.st.MarkFinished(seg)
 	return true
 }

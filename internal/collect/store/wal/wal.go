@@ -396,24 +396,28 @@ func (w *Store) replayFile(path string) (stop bool, err error) {
 // apply replays one record against the in-RAM store, mirroring what the
 // collection service did to generate it. Malformed blocks were rejected
 // when first received and are rejected identically here.
-func (w *Store) apply(rec record) {
+func (w *Store) apply(rec record) { applyRecord(w.mem, rec) }
+
+// applyRecord replays one record against an in-RAM store — shared between
+// Open's recovery and Inspect's read-only walk.
+func applyRecord(mem *store.Memory, rec record) {
 	switch rec.typ {
 	case recBlock:
-		if w.mem.Finished(rec.seg) {
+		if mem.Finished(rec.seg) {
 			return
 		}
 		cb := rlnc.CodedBlock{Seg: rec.seg, Coeffs: rec.coeffs, Payload: rec.payload}
-		w.mem.Receive(0, &cb) //nolint:errcheck // a malformed block replays as the rejection it was
+		mem.Receive(0, &cb) //nolint:errcheck // a malformed block replays as the rejection it was
 	case recFinished:
-		if col := w.mem.Collection(rec.seg); col != nil {
+		if col := mem.Collection(rec.seg); col != nil {
 			col.Release()
-			w.mem.Forget(rec.seg)
+			mem.Forget(rec.seg)
 		}
-		w.mem.MarkFinished(rec.seg)
+		mem.MarkFinished(rec.seg)
 	case recForget:
-		if col := w.mem.Collection(rec.seg); col != nil {
+		if col := mem.Collection(rec.seg); col != nil {
 			col.Release()
-			w.mem.Forget(rec.seg)
+			mem.Forget(rec.seg)
 		}
 	}
 }

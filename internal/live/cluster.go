@@ -62,6 +62,16 @@ type ClusterConfig struct {
 	// Cluster.Tracer). Zero disables tracing unless DebugAddr is set, which
 	// implies a default-capacity tracer so /debug/snapshot has a trace tail.
 	TraceCap int
+	// TraceSample is every node's wire-level trace sampling rate (see
+	// NodeConfig.TraceSample). Zero keeps the cluster's frames byte-
+	// identical to a build without tracing.
+	TraceSample float64
+	// PerEndpointTrace gives every endpoint its own private ring tracer
+	// (capacity TraceCap, or the default) instead of the shared one, the
+	// way separate processes would record. Cluster.Dumps then returns one
+	// labelled dump per endpoint, ready for obs.Assembler to stitch
+	// cross-endpoint spans.
+	PerEndpointTrace bool
 	// Durability, when Dir is non-empty, gives every server a write-ahead
 	// log under <Dir>/shard-<j> with the configured sync policy, and — in
 	// fleet mode — makes the shared delivery journal durable at
@@ -88,6 +98,16 @@ type Cluster struct {
 	// journalFile seals the durable delivery journal on Stop, nil unless
 	// both Fleet and Durability.Dir were set.
 	journalFile io.Closer
+
+	// perEndpoint holds each endpoint's private ring tracer when
+	// PerEndpointTrace was set, in Registries() order (nodes then servers).
+	perEndpoint []tracedEndpoint
+}
+
+// tracedEndpoint pairs an endpoint label with its private ring tracer.
+type tracedEndpoint struct {
+	label string
+	ring  *obs.RingTracer
 }
 
 // defaultClusterTraceCap sizes the shared ring tracer when DebugAddr implies
@@ -143,14 +163,33 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		}
 		return tr
 	}
+	// endpointTracer resolves which tracer an endpoint records into: its own
+	// private ring (PerEndpointTrace), the shared cluster ring, or none.
+	// Tracers draw no randomness, so neither choice perturbs seeded runs.
+	endpointTracer := func(id transport.NodeID) obs.Tracer {
+		if !cfg.PerEndpointTrace {
+			if c.Tracer != nil {
+				return c.Tracer
+			}
+			return nil
+		}
+		capacity := cfg.TraceCap
+		if capacity <= 0 {
+			capacity = defaultClusterTraceCap
+		}
+		rt := obs.NewRingTracer(capacity)
+		c.perEndpoint = append(c.perEndpoint, tracedEndpoint{label: endpointLabel(id), ring: rt})
+		return rt
+	}
 	for i := 0; i < cfg.Peers; i++ {
 		nodeCfg := cfg.Node
 		for _, nb := range graph.Neighbors(i) {
 			nodeCfg.Neighbors = append(nodeCfg.Neighbors, transport.NodeID(nb+1))
 		}
 		nodeCfg.Seed = rng.Int63()
-		if c.Tracer != nil {
-			nodeCfg.Tracer = c.Tracer
+		nodeCfg.TraceSample = cfg.TraceSample
+		if tr := endpointTracer(transport.NodeID(i + 1)); tr != nil {
+			nodeCfg.Tracer = tr
 		}
 		node, err := NewNode(join(transport.NodeID(i+1)), nodeCfg)
 		if err != nil {
@@ -211,8 +250,8 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			srvCfg.Durability = cfg.Durability
 			srvCfg.Durability.Dir = filepath.Join(cfg.Durability.Dir, fmt.Sprintf("shard-%d", j))
 		}
-		if c.Tracer != nil {
-			srvCfg.Tracer = c.Tracer
+		if tr := endpointTracer(transport.NodeID(serverIDBase + j)); tr != nil {
+			srvCfg.Tracer = tr
 		}
 		srv, err := NewServer(join(transport.NodeID(serverIDBase+j)), srvCfg)
 		if err != nil {
@@ -257,6 +296,24 @@ func (c *Cluster) Stop() {
 		c.journalFile.Close() //nolint:errcheck // shutdown path
 		c.journalFile = nil
 	}
+}
+
+// Dumps collects every endpoint's recorded trace events as labelled
+// per-process dumps for obs.Assembler. With PerEndpointTrace it returns
+// one dump per endpoint; with only the shared tracer, a single "cluster"
+// dump; otherwise nil.
+func (c *Cluster) Dumps() []obs.ProcessDump {
+	if len(c.perEndpoint) > 0 {
+		dumps := make([]obs.ProcessDump, 0, len(c.perEndpoint))
+		for _, e := range c.perEndpoint {
+			dumps = append(dumps, obs.ProcessDump{Label: e.label, Events: e.ring.Tail(e.ring.Len())})
+		}
+		return dumps
+	}
+	if c.Tracer != nil {
+		return []obs.ProcessDump{{Label: "cluster", Events: c.Tracer.Tail(c.Tracer.Len())}}
+	}
+	return nil
 }
 
 // TotalDecoded sums decoded segments across servers.

@@ -27,6 +27,12 @@ import (
 // granularity; TTLs in live deployments are seconds to minutes.
 const reapInterval = 20 * time.Millisecond
 
+// traceSeedSalt derives a node's trace-sampling RNG stream from its
+// protocol seed (cfg.Seed ^ traceSeedSalt), the same decoupling trick the
+// simulator uses for its policy RNG: tracing draws never perturb the
+// seeded protocol sequence.
+const traceSeedSalt = 0x7ace5eed
+
 // NodeConfig parameterizes one live peer. Rates are per second.
 type NodeConfig struct {
 	// SegmentSize is s, the coding generation size.
@@ -54,6 +60,15 @@ type NodeConfig struct {
 	// Tracer receives segment-lifecycle milestones (injections, gossip
 	// hops) on the node's clock. Nil disables tracing.
 	Tracer obs.Tracer
+	// TraceSample is the probability (0..1) that an injected segment is
+	// sampled for wire-level trace propagation: it is minted a cluster-
+	// unique trace ID that rides every block of the segment across gossip,
+	// pulls, and fleet exchange, so the assembler can stitch its end-to-end
+	// span. Sampling draws from a dedicated RNG stream derived from Seed —
+	// never from the protocol RNG — so any rate, including 0 vs nonzero,
+	// leaves the seeded protocol byte stream untouched. Zero disables
+	// sampling (the default; frames stay byte-identical to legacy).
+	TraceSample float64
 	// SampleInterval spaces the observability samples (buffer occupancy,
 	// outbox depth) in seconds. Zero selects 1s.
 	SampleInterval float64
@@ -77,6 +92,8 @@ func (c NodeConfig) validate() error {
 		return fmt.Errorf("live: BufferCap %d < SegmentSize %d", c.BufferCap, c.SegmentSize)
 	case c.NoticeTTL < 0:
 		return errors.New("live: negative NoticeTTL")
+	case c.TraceSample < 0 || c.TraceSample > 1:
+		return fmt.Errorf("live: TraceSample %g outside [0,1]", c.TraceSample)
 	}
 	return nil
 }
@@ -113,6 +130,7 @@ type Node struct {
 
 	mu       sync.Mutex
 	rng      *randx.Rand
+	traceRNG *randx.Rand // sampling decisions + trace IDs; nil when TraceSample is 0
 	core     *peercore.Peer
 	counters *peercore.Counters
 	// fullAt maps segment → neighbor → node-clock deadline until which the
@@ -163,6 +181,12 @@ func NewNode(tr transport.Transport, cfg NodeConfig) (*Node, error) {
 	}
 	if n.tracer == nil {
 		n.tracer = obs.NopTracer{}
+	}
+	if cfg.TraceSample > 0 {
+		// A salted sibling of the protocol stream, like the simulator's
+		// policy RNG: deterministic per seed, but consuming no protocol
+		// draws, so sampled and unsampled runs share one byte stream.
+		n.traceRNG = randx.New(cfg.Seed ^ traceSeedSalt)
 	}
 	n.reg = obs.NewRegistry(endpointLabel(tr.LocalID()))
 	n.reg.RegisterCounters(counters.Range)
@@ -309,15 +333,34 @@ func (n *Node) injectLoop() {
 
 // inject generates one segment of fresh statistics records and stores its
 // source blocks (suppressed by the core when the buffer is above B−s).
+// With trace sampling enabled, a sampled segment is minted a cluster-
+// unique lineage here — hop 0, the root of its eventual span.
 func (n *Node) inject() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	now := n.now()
 	if segID, _, ok := n.core.Inject(now, n.makePayloads); ok {
+		var tctx obs.TraceContext
+		if n.traceRNG != nil && n.traceRNG.Float64() < n.cfg.TraceSample {
+			tctx = obs.TraceContext{ID: n.mintTraceID()}
+			n.core.SetTraceCtx(segID, tctx)
+		}
 		n.tracer.Trace(obs.TraceEvent{
 			Seg: segID, Kind: obs.TraceInject, T: now,
 			Actor: uint64(n.tr.LocalID()), N: n.cfg.SegmentSize,
+			TraceID: tctx.ID, Hop: tctx.Hop,
 		})
+	}
+}
+
+// mintTraceID draws a nonzero lineage identifier: 63 random bits folded
+// with the node identity, so concurrent injections across the cluster
+// cannot collide by seed reuse. Callers hold mu and checked traceRNG.
+func (n *Node) mintTraceID() uint64 {
+	for {
+		if id := uint64(n.traceRNG.Int63()) ^ uint64(n.tr.LocalID())<<48; id != 0 {
+			return id
+		}
 	}
 }
 
@@ -395,7 +438,11 @@ func (n *Node) prepareGossip() (transport.NodeID, *transport.Message, bool) {
 	}
 	to := candidates[n.rng.Intn(len(candidates))]
 	cb := n.core.Recode(segID)
-	return to, &transport.Message{Type: transport.MsgBlock, Block: cb}, true
+	msg := &transport.Message{Type: transport.MsgBlock, Block: cb}
+	if tctx := n.core.TraceCtx(segID); tctx.Valid() {
+		msg.Trace = tctx.Next()
+	}
+	return to, msg, true
 }
 
 func (n *Node) reapLoop() {
@@ -484,9 +531,13 @@ func (n *Node) receiveBlock(m *transport.Message) {
 	res := n.core.Store(now, m.Block)
 	justFull := res.Stored && n.core.HoldingFull(m.Block.Seg)
 	if res.Stored {
+		// Adopt the wire lineage (first valid context wins in the core), so
+		// this node's own gossip of the segment extends the same span.
+		n.core.SetTraceCtx(m.Block.Seg, m.Trace)
 		n.tracer.Trace(obs.TraceEvent{
 			Seg: m.Block.Seg, Kind: obs.TraceGossipHop, T: now,
 			Actor: uint64(n.tr.LocalID()), N: n.core.BlocksOf(m.Block.Seg),
+			TraceID: m.Trace.ID, Hop: m.Trace.Hop,
 		})
 	}
 	n.mu.Unlock()
@@ -506,12 +557,20 @@ func (n *Node) receiveBlock(m *transport.Message) {
 func (n *Node) servePull(m *transport.Message) {
 	n.mu.Lock()
 	var reply *transport.Message
+	if m.HasHint {
+		// A traced hinted pull seeds the segment's lineage here, so even a
+		// node that never saw a traced block serves traced replies.
+		n.core.SetTraceCtx(m.Seg, m.Trace)
+	}
 	segID, ok := m.Seg, m.HasHint && n.core.Holds(m.Seg)
 	if !ok {
 		segID, ok = n.core.SampleSegment()
 	}
 	if ok {
 		reply = &transport.Message{Type: transport.MsgBlock, Block: n.core.Recode(segID)}
+		if tctx := n.core.TraceCtx(segID); tctx.Valid() {
+			reply.Trace = tctx.Next()
+		}
 		n.counters.Count(peercore.EvPullServed, 1)
 	} else {
 		reply = &transport.Message{Type: transport.MsgEmpty}

@@ -239,6 +239,11 @@ func TestDebugEndpointUnderLoss(t *testing.T) {
 		if !strings.Contains(metrics, `p2p_pullsSent{endpoint="server-0"}`) {
 			t.Fatal("scrape under loss lost the server metrics")
 		}
+		// Every mid-chaos exposition must stay format-clean: one TYPE line
+		// per family, contiguous families, cumulative histograms.
+		if err := obs.LintExposition(strings.NewReader(metrics)); err != nil {
+			t.Fatalf("exposition under loss fails lint: %v", err)
+		}
 		var doc snapshotDoc
 		if err := json.Unmarshal([]byte(scrape(t, base+"/debug/snapshot")), &doc); err != nil {
 			t.Fatalf("snapshot JSON under loss: %v", err)

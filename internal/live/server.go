@@ -3,6 +3,7 @@ package live
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -37,6 +38,11 @@ var fleetCounterNames = [numFleetCounters]string{
 	fcMisrouted:          "fleetMisroutedBlocks",
 	fcRemoteFinished:     "fleetRemoteFinished",
 }
+
+// flightRecorderCap sizes the always-on crash flight recorder: the last N
+// trace events survive in memory for a postmortem dump. At 51 bytes per
+// encoded record a full dump is ~200 KiB.
+const flightRecorderCap = 4096
 
 // ServerConfig parameterizes one live logging server.
 type ServerConfig struct {
@@ -107,6 +113,13 @@ type ServerConfig struct {
 	// delivers any segment that had decoded but whose completion never
 	// became durable. Empty Dir keeps state purely in RAM, as before.
 	Durability wal.Config
+
+	// FlightPath overrides where the crash flight recorder dumps its ring
+	// on CrashStop or a loop panic. Empty selects Durability.Dir/flight.bin
+	// (next to the WAL, so postmortem tooling finds both); with no durable
+	// directory either, the dump is skipped and the ring stays in-memory
+	// only (still reachable via Server.Flight).
+	FlightPath string
 }
 
 func (c ServerConfig) validate() error {
@@ -188,6 +201,7 @@ type Server struct {
 	obsOutbox     *obs.Gauge
 	obsOpenSeries *obs.TimeSeries
 	debug         *obs.DebugServer
+	flight        *obs.FlightRecorder
 
 	stop    chan struct{}
 	wg      sync.WaitGroup
@@ -232,6 +246,12 @@ func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
 	if rt, ok := s.tracer.(*obs.RingTracer); ok {
 		s.reg.SetTracer(rt)
 	}
+	// The flight recorder is always on: a fixed-size in-memory ring of the
+	// last trace events, teed alongside the configured tracer so a crash
+	// dump exists even when tracing is otherwise disabled. Appends are
+	// allocation-free, so the cost on the hot path is a mutex and a copy.
+	s.flight = obs.NewFlightRecorder(flightRecorderCap)
+	s.tracer = obs.Tee(s.tracer, s.flight)
 
 	svcCfg := collect.Config{
 		SegmentSize:   cfg.SegmentSize,
@@ -324,6 +344,7 @@ func (s *Server) Start() error {
 	}
 	s.running = true
 	s.started = time.Now()
+	s.tracer.Trace(obs.TraceEvent{Kind: obs.TraceServerStart, T: 0, Actor: uint64(s.tr.LocalID())})
 	s.svc.Start(s.OnSegment)
 	s.wg.Add(2)
 	go s.recvLoop()
@@ -355,6 +376,7 @@ func (s *Server) Stop() {
 	close(s.stop)
 	s.tr.Close()
 	s.wg.Wait()
+	s.tracer.Trace(obs.TraceEvent{Kind: obs.TraceServerStop, T: s.now(), Actor: uint64(s.tr.LocalID())})
 	// The receive loop has exited, so no further blocks arrive: the service
 	// drains its decode pool, delivering everything queued, then releases
 	// store state.
@@ -381,10 +403,52 @@ func (s *Server) CrashStop() {
 	close(s.stop)
 	s.tr.Close()
 	s.wg.Wait()
-	s.svc.Crash()
+	// Kill the debug endpoint first: a postmortem scraper must get a clean
+	// connection error, never a half-dead server's stale snapshot.
 	if s.debug != nil {
-		s.debug.Close() //nolint:errcheck // shutdown path
+		s.debug.Close() //nolint:errcheck // crash path
 		s.debug = nil
+	}
+	s.tracer.Trace(obs.TraceEvent{Kind: obs.TraceServerCrash, T: s.now(), Actor: uint64(s.tr.LocalID())})
+	s.dumpFlight()
+	s.svc.Crash()
+}
+
+// Flight exposes the server's always-on crash flight recorder.
+func (s *Server) Flight() *obs.FlightRecorder { return s.flight }
+
+// DumpFlight writes the flight recorder ring to path (for SIGQUIT handlers
+// and tooling; CrashStop and loop panics dump automatically).
+func (s *Server) DumpFlight(path string) error { return s.flight.DumpFile(path) }
+
+// flightDumpPath resolves where automatic flight dumps land: the explicit
+// override, else next to the WAL, else nowhere.
+func (s *Server) flightDumpPath() string {
+	if s.cfg.FlightPath != "" {
+		return s.cfg.FlightPath
+	}
+	if s.cfg.Durability.Dir != "" {
+		return filepath.Join(s.cfg.Durability.Dir, "flight.bin")
+	}
+	return ""
+}
+
+// dumpFlight best-effort writes the flight ring to the configured dump
+// location. Crash paths call it; failures are swallowed — a dying server
+// must not die harder because its black box could not be written.
+func (s *Server) dumpFlight() {
+	if path := s.flightDumpPath(); path != "" {
+		s.flight.DumpFile(path) //nolint:errcheck // crash path, best-effort
+	}
+}
+
+// dumpFlightOnPanic records the crash and dumps the flight ring before
+// re-raising, so a loop panic leaves the same black box a CrashStop does.
+func (s *Server) dumpFlightOnPanic() {
+	if r := recover(); r != nil {
+		s.tracer.Trace(obs.TraceEvent{Kind: obs.TraceServerCrash, T: s.now(), Actor: uint64(s.tr.LocalID())})
+		s.dumpFlight()
+		panic(r)
 	}
 }
 
@@ -428,6 +492,7 @@ func (s *Server) observeRTT(from transport.NodeID, now float64) {
 
 func (s *Server) pullLoop() {
 	defer s.wg.Done()
+	defer s.dumpFlightOnPanic()
 	delay := func() time.Duration {
 		s.mu.Lock()
 		v := s.rng.Exp(s.cfg.PullRate)
@@ -446,12 +511,21 @@ func (s *Server) pullLoop() {
 		case <-timer.C:
 			s.mu.Lock()
 			dec, ok := s.svc.Choose(s.now(), liveEnv{s})
+			var tctx obs.TraceContext
+			if ok && dec.HasHint {
+				tctx = s.svc.TraceCtx(dec.Hint)
+			}
 			s.mu.Unlock()
 			if ok {
 				msg := &transport.Message{Type: transport.MsgPullRequest}
 				if dec.HasHint {
 					msg.HasHint = true
 					msg.Seg = dec.Hint
+					// A hinted pull for a traced segment carries the lineage
+					// out, so the pull leg joins the segment's span.
+					if tctx.Valid() {
+						msg.Trace = tctx.Next()
+					}
 				}
 				msg.WantInventory = dec.WantInventory
 				// EvPullSent counts pulls the transport accepted, mirroring
@@ -487,6 +561,7 @@ func (e liveEnv) SamplePeer() (pullsched.PeerRef, bool) {
 
 func (s *Server) recvLoop() {
 	defer s.wg.Done()
+	defer s.dumpFlightOnPanic()
 	for {
 		select {
 		case <-s.stop:
@@ -533,7 +608,7 @@ func (s *Server) receiveBlock(m *transport.Message) {
 	now := s.now()
 	s.counters.Count(peercore.EvBlockReceived, 1)
 	s.observeRTT(m.From, now)
-	res := s.svc.HandleBlock(now, pullsched.PeerRef(m.From), cb, true)
+	res := s.svc.HandleBlock(now, pullsched.PeerRef(m.From), cb, true, m.Trace)
 	var fwd *transport.Message
 	var fwdTo transport.NodeID
 	if s.ring != nil && !res.Owned {
@@ -549,6 +624,12 @@ func (s *Server) receiveBlock(m *transport.Message) {
 			if to, ok := s.shardTo[s.ring.Owner(cb.Seg)]; ok {
 				if rec := res.Col.Recode(s.exchRNG); rec != nil {
 					fwd = &transport.Message{Type: transport.MsgExchange, Block: rec}
+					if res.Trace.Valid() {
+						// The recoded combination inherits the segment's
+						// lineage one hop deeper, so the cross-shard leg
+						// stitches into the same span.
+						fwd.Trace = res.Trace.Next()
+					}
 					fwdTo = to
 					s.fleetCtr.Add(fcExchangeSent, 1)
 				}
@@ -580,9 +661,14 @@ func (s *Server) receiveExchange(m *transport.Message) {
 	s.mu.Lock()
 	now := s.now()
 	s.fleetCtr.Add(fcExchangeReceived, 1)
-	res := s.svc.HandleBlock(now, pullsched.PeerRef(m.From), cb, false)
+	res := s.svc.HandleBlock(now, pullsched.PeerRef(m.From), cb, false, m.Trace)
 	if res.Outcome.Innovative {
 		s.fleetCtr.Add(fcExchangeInnovative, 1)
+		s.tracer.Trace(obs.TraceEvent{
+			Seg: cb.Seg, Kind: obs.TraceExchanged, T: now,
+			Actor: uint64(s.tr.LocalID()), N: res.Col.Rank(),
+			TraceID: res.Trace.ID, Hop: res.Trace.Hop,
+		})
 	}
 	decoded := res.Outcome.Decoded
 	s.mu.Unlock()

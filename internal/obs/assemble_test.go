@@ -1,0 +1,129 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"p2pcollect/internal/rlnc"
+)
+
+// TestAssemblerStitchesCrossProcessSpan feeds the assembler the dumps of
+// three processes that each saw part of one sampled segment's life —
+// inject at the origin node, a gossip hop at a relay, pull/delivery/decode
+// at the server — and checks the stitched span is complete, time-ordered,
+// and attributes each hop's latency to the right process pair.
+func TestAssemblerStitchesCrossProcessSpan(t *testing.T) {
+	const tid = 0xabc123
+	seg := rlnc.SegmentID{Origin: 7, Seq: 3}
+	a := NewAssembler()
+	a.Add(ProcessDump{Label: "node-7", Events: []TraceEvent{
+		{Kind: TraceInject, T: 1.0, Seg: seg, Actor: 7, TraceID: tid, Hop: 0},
+		// Unsampled noise must not leak into any span.
+		{Kind: TraceInject, T: 1.5, Seg: rlnc.SegmentID{Origin: 7, Seq: 4}, Actor: 7},
+	}})
+	a.Add(ProcessDump{Label: "node-2", Events: []TraceEvent{
+		{Kind: TraceGossipHop, T: 2.0, Seg: seg, Actor: 2, TraceID: tid, Hop: 1},
+	}})
+	a.Add(ProcessDump{Label: "server-0", Events: []TraceEvent{
+		{Kind: TraceServerRank, T: 3.0, Seg: seg, Actor: 1000, N: 1, TraceID: tid, Hop: 2},
+		{Kind: TraceDelivered, T: 4.0, Seg: seg, Actor: 1000, TraceID: tid, Hop: 2},
+		{Kind: TraceDecoded, T: 4.5, Seg: seg, Actor: 1000, TraceID: tid, Hop: 2},
+	}})
+
+	spans := a.Assemble()
+	if len(spans) != 1 {
+		t.Fatalf("assembled %d spans, want 1", len(spans))
+	}
+	sp := spans[0]
+	if sp.TraceID != tid {
+		t.Fatalf("TraceID = %x, want %x", sp.TraceID, tid)
+	}
+	if sp.Seg.Origin != seg.Origin || sp.Seg.Seq != seg.Seq {
+		t.Fatalf("Seg = %d/%d, want %d/%d", sp.Seg.Origin, sp.Seg.Seq, seg.Origin, seg.Seq)
+	}
+	if !sp.Complete() {
+		t.Fatal("span with inject and delivery not Complete")
+	}
+	if len(sp.Events) != 5 {
+		t.Fatalf("span has %d events, want 5", len(sp.Events))
+	}
+	for i := 1; i < len(sp.Events); i++ {
+		if sp.Events[i].T < sp.Events[i-1].T {
+			t.Fatalf("events out of time order at %d: %+v", i, sp.Events)
+		}
+	}
+	if got, want := sp.Processes(), []string{"node-7", "node-2", "server-0"}; len(got) != 3 ||
+		got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Fatalf("Processes = %v, want %v", got, want)
+	}
+	if sp.Duration() != 3.5 {
+		t.Fatalf("Duration = %g, want 3.5", sp.Duration())
+	}
+	if len(sp.Hops) != 4 {
+		t.Fatalf("span has %d hops, want 4", len(sp.Hops))
+	}
+	first := sp.Hops[0]
+	if first.From != "node-7" || first.To != "node-2" || first.Kind != TraceGossipHop || first.Dur != 1.0 {
+		t.Fatalf("first hop = %+v, want node-7→node-2 gossipHop 1.0", first)
+	}
+	if !strings.Contains(sp.String(), "gossipHop") {
+		t.Fatalf("String() missing milestone:\n%s", sp.String())
+	}
+}
+
+// TestAssemblerTieBreaksOnHopThenKind pins the causal ordering rule for
+// processes whose clocks coincide: equal timestamps order by hop count,
+// then by kind, so inject still precedes the hop that forwarded it.
+func TestAssemblerTieBreaksOnHopThenKind(t *testing.T) {
+	const tid = 5
+	seg := rlnc.SegmentID{Origin: 1, Seq: 1}
+	a := NewAssembler()
+	a.Add(ProcessDump{Label: "b", Events: []TraceEvent{
+		{Kind: TraceGossipHop, T: 1.0, Seg: seg, Actor: 2, TraceID: tid, Hop: 1},
+	}})
+	a.Add(ProcessDump{Label: "a", Events: []TraceEvent{
+		{Kind: TraceInject, T: 1.0, Seg: seg, Actor: 1, TraceID: tid, Hop: 0},
+	}})
+	spans := a.Assemble()
+	if len(spans) != 1 {
+		t.Fatalf("assembled %d spans, want 1", len(spans))
+	}
+	if spans[0].Events[0].Kind != TraceInject {
+		t.Fatalf("inject did not sort first on a clock tie: %+v", spans[0].Events)
+	}
+}
+
+// TestAssemblerSeparatesLineages checks that two sampled segments in the
+// same dumps produce two spans, earliest first, and an unfinished lineage
+// reports incomplete.
+func TestAssemblerSeparatesLineages(t *testing.T) {
+	segA := rlnc.SegmentID{Origin: 1, Seq: 1}
+	segB := rlnc.SegmentID{Origin: 2, Seq: 9}
+	a := NewAssembler()
+	a.Add(ProcessDump{Label: "node-1", Events: []TraceEvent{
+		{Kind: TraceInject, T: 5.0, Seg: segB, Actor: 2, TraceID: 20},
+		{Kind: TraceInject, T: 1.0, Seg: segA, Actor: 1, TraceID: 10},
+	}})
+	a.Add(ProcessDump{Label: "server-0", Events: []TraceEvent{
+		{Kind: TraceDelivered, T: 2.0, Seg: segA, Actor: 1000, TraceID: 10, Hop: 1},
+	}})
+	spans := a.Assemble()
+	if len(spans) != 2 {
+		t.Fatalf("assembled %d spans, want 2", len(spans))
+	}
+	if spans[0].TraceID != 10 || spans[1].TraceID != 20 {
+		t.Fatalf("spans not earliest-first: %x then %x", spans[0].TraceID, spans[1].TraceID)
+	}
+	if !spans[0].Complete() {
+		t.Fatal("delivered lineage reported incomplete")
+	}
+	if spans[1].Complete() {
+		t.Fatal("inject-only lineage reported complete")
+	}
+}
+
+func TestAssemblerEmpty(t *testing.T) {
+	if spans := NewAssembler().Assemble(); len(spans) != 0 {
+		t.Fatalf("empty assembler produced %d spans", len(spans))
+	}
+}

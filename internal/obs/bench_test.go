@@ -68,6 +68,55 @@ func BenchmarkRingTracerTrace(b *testing.B) {
 	}
 }
 
+func BenchmarkFlightRecorderAppend(b *testing.B) {
+	fr := NewFlightRecorder(4096)
+	ev := TraceEvent{Seg: rlnc.SegmentID{Origin: 1, Seq: 2}, Kind: TraceGossipHop, TraceID: 7, Hop: 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.T = float64(i)
+		fr.Trace(ev)
+	}
+}
+
+// queryBenchRing fills a ring with a many-segment workload so Query has
+// real eviction and interleaving to contend with.
+func queryBenchRing(indexed bool) *RingTracer {
+	const cap, segs = 4096, 256
+	rt := NewRingTracer(cap)
+	if indexed {
+		rt = NewIndexedRingTracer(cap)
+	}
+	for i := 0; i < 3*cap; i++ {
+		rt.Trace(TraceEvent{
+			Seg:  rlnc.SegmentID{Origin: uint64(i % segs), Seq: uint64(i % 3)},
+			Kind: TraceGossipHop,
+			T:    float64(i),
+		})
+	}
+	return rt
+}
+
+func BenchmarkRingTracerQueryScan(b *testing.B) {
+	rt := queryBenchRing(false)
+	seg := rlnc.SegmentID{Origin: 17, Seq: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rt.Query(seg)
+	}
+}
+
+func BenchmarkRingTracerQueryIndexed(b *testing.B) {
+	rt := queryBenchRing(true)
+	seg := rlnc.SegmentID{Origin: 17, Seq: 2}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rt.Query(seg)
+	}
+}
+
 func BenchmarkGaugeSet(b *testing.B) {
 	g := NewGauge("g")
 	b.ReportAllocs()

@@ -3,7 +3,6 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
-	"io"
 	"math"
 	"sort"
 	"strconv"
@@ -253,11 +252,12 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return snap
 }
 
-// writePrometheus renders the histogram in the exposition format with
-// cumulative buckets, as the format requires.
-func (h *Histogram) writePrometheus(w io.Writer, label string) {
+// promLines renders the histogram's sample lines (cumulative _bucket
+// series plus _sum and _count, as the exposition format requires) without
+// the family TYPE line, which the caller emits once per family.
+func (h *Histogram) promLines(label string) []string {
 	name := promName(h.name)
-	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	lines := make([]string, 0, len(h.counts)+2)
 	var cum int64
 	for i := range h.counts {
 		cum += h.counts[i].Load()
@@ -265,14 +265,15 @@ func (h *Histogram) writePrometheus(w io.Writer, label string) {
 		if i < len(h.bounds) {
 			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
 		}
-		fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabelWith(label, "le", le), cum)
+		lines = append(lines, fmt.Sprintf("%s_bucket%s %d\n", name, promLabelWith(label, "le", le), cum))
 	}
 	lbl := ""
 	if label != "" {
 		lbl = `{endpoint="` + label + `"}`
 	}
-	fmt.Fprintf(w, "%s_sum%s %g\n", name, lbl, h.Sum())
-	fmt.Fprintf(w, "%s_count%s %d\n", name, lbl, cum)
+	lines = append(lines, fmt.Sprintf("%s_sum%s %g\n", name, lbl, h.Sum()))
+	lines = append(lines, fmt.Sprintf("%s_count%s %d\n", name, lbl, cum))
+	return lines
 }
 
 // atomicFloat is a float64 with atomic add/load (CAS on the bit pattern).

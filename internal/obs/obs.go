@@ -199,28 +199,73 @@ func (r *Registry) Snapshot() Snapshot {
 // format. Counter names keep their Go-side camelCase (legal in the format);
 // the endpoint label distinguishes registries sharing a debug server.
 func (r *Registry) WritePrometheus(w io.Writer) {
+	WriteExposition(w, r)
+}
+
+// WriteExposition renders any number of registries as one valid Prometheus
+// text exposition: samples are grouped by metric family with exactly one
+// "# TYPE" line per family, with the endpoint label telling the source
+// registries apart. Rendering each registry separately would repeat the
+// TYPE line per endpoint — a format violation real Prometheus servers
+// reject — so every multi-registry surface (obs.Handler, obstool) must go
+// through this writer.
+func WriteExposition(w io.Writer, regs ...*Registry) {
+	type family struct {
+		kind  string
+		lines []string
+	}
+	fams := make(map[string]*family)
+	var order []string
+	add := func(name, kind, line string) {
+		f := fams[name]
+		if f == nil {
+			f = &family{kind: kind}
+			fams[name] = f
+			order = append(order, name)
+		}
+		f.lines = append(f.lines, line)
+	}
+	for _, r := range regs {
+		r.collectProm(add)
+	}
+	for _, name := range order {
+		f := fams[name]
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, f.kind)
+		for _, line := range f.lines {
+			io.WriteString(w, line) //nolint:errcheck // best-effort scrape write
+		}
+	}
+}
+
+// collectProm feeds every sample line to add, keyed by exposed family name
+// and kind. Histogram families contribute their _bucket/_sum/_count lines
+// under the base name.
+func (r *Registry) collectProm(add func(name, kind, line string)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	lbl := r.promLabel()
 	for _, rangeFn := range r.counters {
 		rangeFn(func(name string, v int64) {
 			name = promName(name)
-			fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, lbl, v)
+			add(name, "counter", fmt.Sprintf("%s%s %d\n", name, lbl, v))
 		})
 	}
 	for _, g := range r.gauges {
 		name := promName(g.Name())
-		fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %g\n", name, name, lbl, g.Value())
+		add(name, "gauge", fmt.Sprintf("%s%s %g\n", name, lbl, g.Value()))
 	}
 	for _, h := range r.hists {
-		h.writePrometheus(w, r.label)
+		name := promName(h.Name())
+		for _, line := range h.promLines(r.label) {
+			add(name, "histogram", line)
+		}
 	}
 	for _, ts := range r.series {
 		// Series expose their latest sample as a gauge; the full trajectory
 		// is in the JSON snapshot (Prometheus scrapes build their own).
 		if p, ok := ts.Last(); ok {
 			name := promName(ts.Name())
-			fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %g\n", name, name, lbl, p.V)
+			add(name, "gauge", fmt.Sprintf("%s%s %g\n", name, lbl, p.V))
 		}
 	}
 }

@@ -27,12 +27,23 @@ const (
 	TraceDecoded
 	// TracePurged: a node dropped its holding for the segment.
 	TracePurged
+	// TraceExchanged: a fleet shard absorbed a recoded block forwarded by
+	// another shard; N carries the collection rank after the absorb.
+	TraceExchanged
+	// TraceServerStart: a server started; Seg is zero.
+	TraceServerStart
+	// TraceServerStop: a server shut down cleanly; Seg is zero.
+	TraceServerStop
+	// TraceServerCrash: a server hard-stopped (CrashStop or panic); Seg is
+	// zero. In a flight-recorder dump this is normally the last event.
+	TraceServerCrash
 
 	numTraceKinds
 )
 
 var traceKindNames = [numTraceKinds]string{
 	"inject", "gossipHop", "serverRank", "delivered", "decoded", "purged",
+	"exchanged", "serverStart", "serverStop", "serverCrash",
 }
 
 // String names the kind for logs and JSON.
@@ -63,6 +74,29 @@ func (k *TraceKind) UnmarshalJSON(data []byte) error {
 	return fmt.Errorf("obs: unknown trace kind %q", name)
 }
 
+// TraceContext is the sampled causal lineage a coded block carries across
+// the wire: a cluster-unique trace ID minted when the segment is injected,
+// and the hop count at the sender. The zero value means "not sampled" — an
+// ID of zero is never minted, so Valid is a single compare and absent
+// contexts cost nothing on the wire.
+type TraceContext struct {
+	// ID is the cluster-unique lineage identifier, nonzero when sampled.
+	ID uint64 `json:"id"`
+	// Hop counts forwarding steps since injection, saturating at 255.
+	Hop uint8 `json:"hop"`
+}
+
+// Valid reports whether the context carries a sampled lineage.
+func (c TraceContext) Valid() bool { return c.ID != 0 }
+
+// Next returns the context one forwarding step later (hop saturates).
+func (c TraceContext) Next() TraceContext {
+	if c.Hop < 255 {
+		c.Hop++
+	}
+	return c
+}
+
 // TraceEvent is one recorded milestone.
 type TraceEvent struct {
 	// Seg identifies the segment the milestone belongs to.
@@ -77,6 +111,17 @@ type TraceEvent struct {
 	// N is kind-specific: the rank after a TraceServerRank, the holding's
 	// block count at a TraceGossipHop/TracePurged, else 0.
 	N int `json:"n,omitempty"`
+	// TraceID is the sampled cluster-unique lineage the triggering block
+	// carried, zero when the segment was not sampled for tracing.
+	TraceID uint64 `json:"traceID,omitempty"`
+	// Hop is the block's forwarding depth when the milestone fired, only
+	// meaningful when TraceID is nonzero.
+	Hop uint8 `json:"hop,omitempty"`
+}
+
+// Context returns the event's lineage as a TraceContext.
+func (ev TraceEvent) Context() TraceContext {
+	return TraceContext{ID: ev.TraceID, Hop: ev.Hop}
 }
 
 // Tracer receives segment milestones. The nop implementation is the
@@ -93,6 +138,40 @@ type NopTracer struct{}
 // Trace implements Tracer by doing nothing.
 func (NopTracer) Trace(TraceEvent) {}
 
+// multiTracer fans one event out to several tracers.
+type multiTracer []Tracer
+
+// Trace implements Tracer.
+func (m multiTracer) Trace(ev TraceEvent) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+// Tee combines tracers into one that forwards every event to all of them.
+// Nil and nop entries are dropped; zero live entries yield a NopTracer and
+// a single live entry is returned unwrapped, so the common cases pay no
+// fan-out overhead.
+func Tee(tracers ...Tracer) Tracer {
+	live := make(multiTracer, 0, len(tracers))
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		if _, nop := t.(NopTracer); nop {
+			continue
+		}
+		live = append(live, t)
+	}
+	switch len(live) {
+	case 0:
+		return NopTracer{}
+	case 1:
+		return live[0]
+	}
+	return live
+}
+
 // RingTracer keeps the last cap events in a fixed ring. Trace is O(1),
 // allocation-free, and takes one short mutex hold, cheap enough to leave
 // enabled on live clusters; when the ring wraps the oldest events are
@@ -102,6 +181,11 @@ type RingTracer struct {
 	buf   []TraceEvent
 	start int
 	n     int
+	// idx, when non-nil, maps each segment to its live buffer slots in
+	// insertion order. The ring evicts in insertion order too, so the slot
+	// being overwritten is always the front of its segment's queue — index
+	// maintenance is O(1) per Trace and Query never scans the whole ring.
+	idx map[rlnc.SegmentID][]int
 }
 
 // NewRingTracer returns a tracer retaining the last cap events
@@ -113,17 +197,43 @@ func NewRingTracer(cap int) *RingTracer {
 	return &RingTracer{buf: make([]TraceEvent, cap)}
 }
 
+// NewIndexedRingTracer is NewRingTracer plus a per-segment slot index:
+// Query and Phases touch only the queried segment's events instead of
+// scanning the whole ring. Trace stays O(1) but may allocate when a
+// segment's slot list grows, so the unindexed tracer remains the default
+// on paths that must stay allocation-free.
+func NewIndexedRingTracer(cap int) *RingTracer {
+	rt := NewRingTracer(cap)
+	rt.idx = make(map[rlnc.SegmentID][]int)
+	return rt
+}
+
 // Trace implements Tracer.
 func (rt *RingTracer) Trace(ev TraceEvent) {
 	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	var slot int
 	if rt.n < len(rt.buf) {
-		rt.buf[(rt.start+rt.n)%len(rt.buf)] = ev
+		slot = (rt.start + rt.n) % len(rt.buf)
 		rt.n++
-		return
+	} else {
+		slot = rt.start
+		rt.start = (rt.start + 1) % len(rt.buf)
+		if rt.idx != nil {
+			// The evicted slot is the oldest event overall, hence the front
+			// of its own segment's queue.
+			old := rt.buf[slot].Seg
+			if q := rt.idx[old]; len(q) <= 1 {
+				delete(rt.idx, old)
+			} else {
+				rt.idx[old] = q[1:]
+			}
+		}
 	}
-	rt.buf[rt.start] = ev
-	rt.start = (rt.start + 1) % len(rt.buf)
+	rt.buf[slot] = ev
+	if rt.idx != nil {
+		rt.idx[ev.Seg] = append(rt.idx[ev.Seg], slot)
+	}
+	rt.mu.Unlock()
 }
 
 // Len returns the number of retained events.
@@ -156,10 +266,19 @@ func (rt *RingTracer) Tail(n int) []TraceEvent {
 func (rt *RingTracer) Query(seg rlnc.SegmentID) SegmentTrace {
 	rt.mu.Lock()
 	var events []TraceEvent
-	for i := 0; i < rt.n; i++ {
-		ev := rt.buf[(rt.start+i)%len(rt.buf)]
-		if ev.Seg == seg {
-			events = append(events, ev)
+	if rt.idx != nil {
+		if slots := rt.idx[seg]; len(slots) > 0 {
+			events = make([]TraceEvent, len(slots))
+			for i, slot := range slots {
+				events[i] = rt.buf[slot]
+			}
+		}
+	} else {
+		for i := 0; i < rt.n; i++ {
+			ev := rt.buf[(rt.start+i)%len(rt.buf)]
+			if ev.Seg == seg {
+				events = append(events, ev)
+			}
 		}
 	}
 	rt.mu.Unlock()

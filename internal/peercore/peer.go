@@ -15,6 +15,7 @@ package peercore
 import (
 	"fmt"
 
+	"p2pcollect/internal/obs"
 	"p2pcollect/internal/randx"
 	"p2pcollect/internal/rlnc"
 	"p2pcollect/internal/slab"
@@ -89,6 +90,9 @@ type Peer struct {
 	segPos    map[rlnc.SegmentID]int
 	deadlines map[*rlnc.CodedBlock]float64
 	occupancy int
+	// traceCtx maps buffered segments to their sampled lineage (see
+	// trace.go). Lazily allocated: untraced runs never touch it.
+	traceCtx map[rlnc.SegmentID]obs.TraceContext
 }
 
 // NewPeer builds a peer with the given network identity. The rng may be
@@ -343,6 +347,7 @@ func (p *Peer) Clear() {
 	p.segPos = make(map[rlnc.SegmentID]int)
 	p.deadlines = make(map[*rlnc.CodedBlock]float64)
 	p.occupancy = 0
+	p.traceCtx = nil
 }
 
 // recycle hands an evicted block's buffers back to the slab when buffer
@@ -367,6 +372,7 @@ func (p *Peer) dropHolding(seg rlnc.SegmentID) {
 	p.segIDs = p.segIDs[:last]
 	delete(p.segPos, seg)
 	delete(p.holdings, seg)
+	delete(p.traceCtx, seg)
 }
 
 // CheckInvariants verifies the peer's internal bookkeeping against a full

@@ -1,0 +1,32 @@
+package peercore
+
+import (
+	"p2pcollect/internal/obs"
+	"p2pcollect/internal/rlnc"
+)
+
+// SetTraceCtx associates a sampled trace context with a buffered segment.
+// The first valid context wins — a segment's lineage is minted once at
+// injection (or adopted from the first traced block received) and never
+// rewritten by later arrivals. Contexts for segments the peer does not
+// hold, and invalid (unsampled) contexts, are dropped: lineage bookkeeping
+// must never outlive the blocks it describes, or the map would grow
+// without bound under churn.
+func (p *Peer) SetTraceCtx(seg rlnc.SegmentID, ctx obs.TraceContext) {
+	if !ctx.Valid() || p.holdings[seg] == nil {
+		return
+	}
+	if _, ok := p.traceCtx[seg]; ok {
+		return
+	}
+	if p.traceCtx == nil {
+		p.traceCtx = make(map[rlnc.SegmentID]obs.TraceContext)
+	}
+	p.traceCtx[seg] = ctx
+}
+
+// TraceCtx returns the sampled trace context attached to a buffered
+// segment, or the zero context when the segment is untraced.
+func (p *Peer) TraceCtx(seg rlnc.SegmentID) obs.TraceContext {
+	return p.traceCtx[seg]
+}

@@ -98,6 +98,14 @@ type Config struct {
 	// clock. Nil disables tracing; the hooks then cost a single interface
 	// call and draw no randomness, so seeded runs stay byte-identical.
 	Tracer obs.Tracer
+	// TraceSample is the probability (0..1) that an injected segment is
+	// sampled for lineage tracing: it is minted a cluster-unique trace ID
+	// that rides the peercore trace maps across gossip hops and server
+	// pulls, tagging every emitted TraceEvent. Sampling decisions draw
+	// from a dedicated RNG stream (Seed ^ traceSeedSalt) — never from the
+	// protocol RNG — so any rate leaves the seeded event sequence
+	// untouched. Zero disables sampling.
+	TraceSample float64
 	// Warmup is the time after which measurements are collected.
 	Warmup float64
 	// Horizon is the total simulated duration.
@@ -159,6 +167,8 @@ func (c Config) validate() error {
 		return errors.New("sim: MeanFieldSampling requires a full-mesh overlay (Degree == 0)")
 	case !pullsched.Known(c.PullPolicy):
 		return fmt.Errorf("sim: unknown PullPolicy %q (have %v)", c.PullPolicy, pullsched.Names())
+	case c.TraceSample < 0 || c.TraceSample > 1:
+		return fmt.Errorf("sim: TraceSample %g outside [0,1]", c.TraceSample)
 	}
 	return nil
 }

@@ -19,6 +19,12 @@ import (
 // so scheduling never perturbs the seeded protocol randomness.
 const policySeedSalt = 0x5ca1ab1e
 
+// traceSeedSalt derives the trace-sampling RNG stream (Seed ^
+// traceSeedSalt), the same decoupling trick as policySeedSalt: lineage
+// sampling draws never touch the protocol randomness, so traced and
+// untraced runs share one seeded event sequence.
+const traceSeedSalt = 0x7ace5eed
+
 // targetRetries bounds the rejection sampling used to pick a gossip target
 // in full-mesh mode.
 const targetRetries = 40
@@ -81,6 +87,9 @@ type Simulator struct {
 
 	// tracer receives segment-lifecycle milestones; NopTracer by default.
 	tracer obs.Tracer
+	// traceRNG drives lineage sampling and trace-ID minting; nil when
+	// TraceSample is 0.
+	traceRNG *randx.Rand
 	// Observability registry and instruments, nil until EnableObs. None of
 	// them draw randomness, so the seeded event sequence is unperturbed.
 	obsReg      *obs.Registry
@@ -131,6 +140,9 @@ type segMeta struct {
 	// segment was delivered — the "statistics from departed peers" the
 	// paper's introduction argues are the most valuable.
 	originDeparted bool
+	// tctx is the segment's sampled lineage (zero when unsampled); server-
+	// side trace events carry it even after the origin's blocks expire.
+	tctx obs.TraceContext
 }
 
 func (m *segMeta) delivered() bool { return m.deliveredAt >= 0 }
@@ -180,6 +192,9 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	if s.tracer == nil {
 		s.tracer = obs.NopTracer{}
+	}
+	if cfg.TraceSample > 0 {
+		s.traceRNG = randx.New(cfg.Seed ^ traceSeedSalt)
 	}
 	// In IndependentServers mode the pooled collector only tracks the union
 	// rank (via Observe); the state machines that count are per-server.
@@ -518,9 +533,26 @@ func (s *Simulator) inject(pi int) {
 		}
 	}
 	s.segs[segID] = meta
-	s.tracer.Trace(obs.TraceEvent{Seg: segID, Kind: obs.TraceInject, T: s.clock.Now(), Actor: p.id})
+	if s.traceRNG != nil && s.traceRNG.Float64() < s.cfg.TraceSample {
+		meta.tctx = obs.TraceContext{ID: s.mintTraceID(p.id)}
+		p.core.SetTraceCtx(segID, meta.tctx)
+	}
+	s.tracer.Trace(obs.TraceEvent{
+		Seg: segID, Kind: obs.TraceInject, T: s.clock.Now(), Actor: p.id,
+		TraceID: meta.tctx.ID, Hop: meta.tctx.Hop,
+	})
 	for _, st := range stored {
 		s.noteStored(pi, st.Block, st.TTL)
+	}
+}
+
+// mintTraceID draws a nonzero lineage identifier from the trace RNG,
+// folded with the injecting peer's identity.
+func (s *Simulator) mintTraceID(actor uint64) uint64 {
+	for {
+		if id := uint64(s.traceRNG.Int63()) ^ actor<<48; id != 0 {
+			return id
+		}
 	}
 }
 
@@ -585,9 +617,17 @@ func (s *Simulator) gossip(pi int) {
 		return
 	}
 	s.noteStored(target, cb, res.TTL)
+	// The receiver adopts the sender's lineage one hop deeper — the DES
+	// equivalent of the trace context riding the wire frame.
+	var hopCtx obs.TraceContext
+	if tctx := s.peers[sender].core.TraceCtx(cb.Seg); tctx.Valid() {
+		hopCtx = tctx.Next()
+		s.peers[target].core.SetTraceCtx(cb.Seg, hopCtx)
+	}
 	s.tracer.Trace(obs.TraceEvent{
 		Seg: cb.Seg, Kind: obs.TraceGossipHop, T: s.clock.Now(),
 		Actor: s.peers[target].id, N: s.segs[cb.Seg].degree,
+		TraceID: hopCtx.ID, Hop: hopCtx.Hop,
 	})
 }
 
@@ -759,6 +799,13 @@ func (s *Simulator) pull(server int) {
 	}
 	cb := core.Recode(segID)
 	meta := s.segs[segID]
+	// The wire context the serving peer would have attached: its own
+	// lineage one hop deeper. Server events carry it so the pull leg's hop
+	// depth matches the live runtime's.
+	var wctx obs.TraceContext
+	if tctx := core.TraceCtx(segID); tctx.Valid() {
+		wctx = tctx.Next()
+	}
 
 	// The paper's accounting: every pull on a segment whose collection
 	// state is below s is useful and advances the state (§3); the decoder
@@ -801,6 +848,7 @@ func (s *Simulator) pull(server int) {
 		s.tracer.Trace(obs.TraceEvent{
 			Seg: segID, Kind: obs.TraceServerRank, T: now,
 			Actor: uint64(server), N: rcol.Rank(),
+			TraceID: wctx.ID, Hop: wctx.Hop,
 		})
 	}
 	if out.Delivered && !meta.delivered() {
@@ -815,7 +863,10 @@ func (s *Simulator) pull(server int) {
 			s.deliveredInWindow++
 			s.stateDelay.Add(now - meta.injectTime)
 		}
-		s.tracer.Trace(obs.TraceEvent{Seg: segID, Kind: obs.TraceDelivered, T: now, Actor: uint64(server)})
+		s.tracer.Trace(obs.TraceEvent{
+			Seg: segID, Kind: obs.TraceDelivered, T: now, Actor: uint64(server),
+			TraceID: wctx.ID, Hop: wctx.Hop,
+		})
 		if s.obsDelivery != nil {
 			s.obsDelivery.Observe(now - meta.injectTime)
 		}
@@ -835,7 +886,10 @@ func (s *Simulator) pull(server int) {
 			s.rankDecodedInWindow++
 			s.rankDelay.Add(now - meta.injectTime)
 		}
-		s.tracer.Trace(obs.TraceEvent{Seg: segID, Kind: obs.TraceDecoded, T: now, Actor: uint64(server)})
+		s.tracer.Trace(obs.TraceEvent{
+			Seg: segID, Kind: obs.TraceDecoded, T: now, Actor: uint64(server),
+			TraceID: wctx.ID, Hop: wctx.Hop,
+		})
 		if s.obsDecode != nil {
 			s.obsDecode.Observe(now - meta.injectTime)
 		}
@@ -903,9 +957,18 @@ func (s *Simulator) expireBlock(pi int, gen uint64, cb *rlnc.CodedBlock) {
 // capacity for undelivered data. The pending TTL events become no-ops.
 func (s *Simulator) purgeSegment(segID rlnc.SegmentID) {
 	purged := 0
+	// Capture the lineage up front: dropping the last block may retire the
+	// segMeta before the deferred event fires.
+	var tctx obs.TraceContext
+	if meta := s.segs[segID]; meta != nil {
+		tctx = meta.tctx
+	}
 	defer func() {
 		if purged > 0 {
-			s.tracer.Trace(obs.TraceEvent{Seg: segID, Kind: obs.TracePurged, T: s.clock.Now(), N: purged})
+			s.tracer.Trace(obs.TraceEvent{
+				Seg: segID, Kind: obs.TracePurged, T: s.clock.Now(), N: purged,
+				TraceID: tctx.ID, Hop: tctx.Hop,
+			})
 		}
 	}()
 	for pi, p := range s.peers {

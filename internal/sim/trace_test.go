@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"p2pcollect/internal/obs"
+)
+
+// TestTraceSampleDoesNotPerturbSeededRun is the sampling contract: lineage
+// tracing draws its sampling decisions and trace IDs from a dedicated RNG
+// stream (Seed ^ traceSeedSalt), never from the protocol RNG, so even
+// sampling *every* segment leaves a seeded run's measurements identical to
+// the unsampled run.
+func TestTraceSampleDoesNotPerturbSeededRun(t *testing.T) {
+	bare, err := Run(obsTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0.25, 1} {
+		cfg := obsTestConfig()
+		cfg.Tracer = obs.NewRingTracer(1 << 16)
+		cfg.TraceSample = rate
+		sampled, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bareCopy := bare
+		bareCopy.Config, sampled.Config = Config{}, Config{}
+		if !reflect.DeepEqual(bareCopy, sampled) {
+			t.Errorf("TraceSample=%g diverged from the bare run:\nbare:    %+v\nsampled: %+v",
+				rate, bareCopy, sampled)
+		}
+	}
+}
+
+// TestTraceSampleTagsLineages checks the sampled events actually carry
+// lineage: with TraceSample=1 every inject mints a nonzero cluster-unique
+// trace ID, downstream milestones for the segment reuse it with growing
+// hop counts, and the assembler can stitch complete spans out of the ring.
+func TestTraceSampleTagsLineages(t *testing.T) {
+	cfg := obsTestConfig()
+	rt := obs.NewRingTracer(1 << 18)
+	cfg.Tracer = rt
+	cfg.TraceSample = 1
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	events := rt.Tail(rt.Len())
+	if len(events) == 0 {
+		t.Fatal("traced run recorded no events")
+	}
+	ids := make(map[uint64]bool)
+	var hops, delivered int
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.TraceInject:
+			if ev.TraceID == 0 {
+				t.Fatalf("TraceSample=1 left inject of %v unsampled", ev.Seg)
+			}
+			if ids[ev.TraceID] {
+				t.Fatalf("trace ID %x minted twice", ev.TraceID)
+			}
+			ids[ev.TraceID] = true
+			if ev.Hop != 0 {
+				t.Fatalf("inject with hop %d", ev.Hop)
+			}
+		case obs.TraceGossipHop:
+			if ev.TraceID != 0 && ev.Hop == 0 {
+				t.Fatalf("gossip hop with lineage but hop count 0: %+v", ev)
+			}
+			hops++
+		case obs.TraceDelivered:
+			delivered++
+		}
+	}
+	if hops == 0 || delivered == 0 {
+		t.Fatalf("run too quiet to validate: %d hops, %d deliveries", hops, delivered)
+	}
+
+	asm := obs.NewAssembler()
+	asm.Add(obs.ProcessDump{Label: "sim", Events: events})
+	spans := asm.Assemble()
+	var complete int
+	for _, sp := range spans {
+		if sp.Complete() {
+			complete++
+		}
+	}
+	if complete == 0 {
+		t.Fatalf("no complete span among %d stitched from a fully sampled run", len(spans))
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"testing"
 
+	"p2pcollect/internal/obs"
 	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/rlnc"
 )
@@ -48,6 +49,31 @@ func FuzzDecodeMessage(f *testing.F) {
 				Payload: []byte("recoded"),
 			},
 		},
+		// Trace-context-bearing frames: block, exchange, pull (hinted and
+		// trace-only).
+		{
+			Type: MsgBlock, From: 5, To: 6,
+			Trace: obs.TraceContext{ID: 0xDEADBEEF, Hop: 3},
+			Block: &rlnc.CodedBlock{
+				Seg:     rlnc.SegmentID{Origin: 5, Seq: 1},
+				Coeffs:  []byte{1, 2, 3},
+				Payload: []byte("payload"),
+			},
+		},
+		{
+			Type: MsgExchange, From: 6, To: 5,
+			Trace: obs.TraceContext{ID: 1, Hop: 255},
+			Block: &rlnc.CodedBlock{
+				Seg:    rlnc.SegmentID{Origin: 9, Seq: 2},
+				Coeffs: []byte{4, 5, 6, 7},
+			},
+		},
+		{
+			Type: MsgPullRequest, From: 1, To: 2,
+			HasHint: true, Seg: rlnc.SegmentID{Origin: 7, Seq: 3},
+			Trace: obs.TraceContext{ID: 42, Hop: 1},
+		},
+		{Type: MsgPullRequest, From: 1, To: 2, Trace: obs.TraceContext{ID: 9, Hop: 0}},
 	}
 	for _, m := range seeds {
 		frame, err := EncodeMessage(m)
@@ -58,6 +84,13 @@ func FuzzDecodeMessage(f *testing.F) {
 	}
 	f.Add([]byte{})
 	f.Add([]byte{0xFF})
+	// Truncated and oversized trace suffixes must be rejected, never decode
+	// to a half-read context.
+	if frame, err := EncodeMessage(seeds[len(seeds)-4]); err == nil {
+		f.Add(frame[4 : len(frame)-1])         // truncated trace suffix
+		f.Add(append(frame[4:], 0))            // oversized trace suffix
+		f.Add(append(frame[4:], frame[4:]...)) // doubled body
+	}
 
 	f.Fuzz(func(t *testing.T, body []byte) {
 		m, err := DecodeMessage(body)
@@ -80,6 +113,9 @@ func FuzzDecodeMessage(f *testing.F) {
 		}
 		if again.HasHint != m.HasHint || again.WantInventory != m.WantInventory {
 			t.Fatalf("round trip changed pull flags: %+v vs %+v", again, m)
+		}
+		if again.Trace != m.Trace {
+			t.Fatalf("round trip changed trace context: %+v vs %+v", again.Trace, m.Trace)
 		}
 		if len(again.Inventory) != len(m.Inventory) {
 			t.Fatalf("round trip changed inventory length: %d vs %d", len(again.Inventory), len(m.Inventory))

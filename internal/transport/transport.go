@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 
+	"p2pcollect/internal/obs"
 	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/rlnc"
 )
@@ -84,6 +85,11 @@ type Message struct {
 	// Inventory is set for MsgInventory: the sender's buffered segments
 	// and per-segment block counts.
 	Inventory []pullsched.InventoryEntry
+	// Trace is the optional sampled lineage riding on MsgBlock,
+	// MsgExchange, and MsgPullRequest frames. The zero value (no sampled
+	// lineage) encodes to exactly the legacy byte stream, mirroring how a
+	// hintless pull stays the legacy empty payload.
+	Trace obs.TraceContext
 }
 
 // ErrClosed is returned by Send after the transport was closed.

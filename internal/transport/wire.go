@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"p2pcollect/internal/obs"
 	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/rlnc"
 )
@@ -19,17 +20,30 @@ import (
 //
 // MsgBlock payload:           u64 origin | u64 seq | u32 coeffLen | coeffs |
 //	                           u32 payloadLen | payload
+//	                           [| u8 0x01 | u64 traceID | u8 hop]
+//	                           The optional trailing trace context carries
+//	                           the block's sampled lineage; absent means not
+//	                           sampled, so untraced frames stay byte-identical
+//	                           with pre-tracing nodes. A present context must
+//	                           be exactly this shape with marker 0x01 and a
+//	                           nonzero traceID — anything else (truncated,
+//	                           oversized, zero ID, unknown marker) is a
+//	                           decode error.
 // MsgSegmentComplete payload: u64 origin | u64 seq
 // MsgPullRequest payload:     (empty)  — legacy blind pull, or
 //	                           u8 flags [| u64 origin | u64 seq]
+//	                           [| u64 traceID | u8 hop]
 //	                           flags bit0 = segment hint present (origin+seq
-//	                           follow), bit1 = want inventory digest. A zero
+//	                           follow), bit1 = want inventory digest, bit2 =
+//	                           trace context present (traceID+hop follow the
+//	                           hint fields; traceID must be nonzero). A zero
 //	                           or unknown flags byte is a decode error, so
 //	                           the empty payload stays the only encoding of
 //	                           a blind pull.
 // MsgEmpty payload:           (empty)
 // MsgInventory payload:       u32 n | n × (u64 origin | u64 seq | u16 blocks)
-// MsgExchange payload:        identical to MsgBlock
+// MsgExchange payload:        identical to MsgBlock (including the optional
+//	                           trace context)
 
 // maxFrameSize bounds a frame body, both on the read side (guarding
 // against corrupt length prefixes) and on the encode side (a frame the
@@ -43,6 +57,13 @@ const headerLen = 1 + 8 + 8
 const (
 	pullFlagHint          = 1 << 0
 	pullFlagWantInventory = 1 << 1
+	pullFlagTrace         = 1 << 2
+)
+
+// Block-frame trace suffix: marker byte, then trace ID and hop.
+const (
+	traceMarker    = 0x01
+	traceSuffixLen = 1 + 8 + 1
 )
 
 // inventoryEntryLen is the wire size of one MsgInventory digest line.
@@ -63,6 +84,11 @@ func EncodeMessage(m *Message) ([]byte, error) {
 		body = appendUint64(body, m.Block.Seg.Seq)
 		body = appendBytes(body, m.Block.Coeffs)
 		body = appendBytes(body, m.Block.Payload)
+		if m.Trace.Valid() {
+			body = append(body, traceMarker)
+			body = appendUint64(body, m.Trace.ID)
+			body = append(body, m.Trace.Hop)
+		}
 	case MsgSegmentComplete:
 		body = appendUint64(body, m.Seg.Origin)
 		body = appendUint64(body, m.Seg.Seq)
@@ -76,11 +102,18 @@ func EncodeMessage(m *Message) ([]byte, error) {
 		if m.WantInventory {
 			flags |= pullFlagWantInventory
 		}
+		if m.Trace.Valid() {
+			flags |= pullFlagTrace
+		}
 		if flags != 0 {
 			body = append(body, flags)
 			if m.HasHint {
 				body = appendUint64(body, m.Seg.Origin)
 				body = appendUint64(body, m.Seg.Seq)
+			}
+			if m.Trace.Valid() {
+				body = appendUint64(body, m.Trace.ID)
+				body = append(body, m.Trace.Hop)
 			}
 		}
 	case MsgEmpty:
@@ -139,7 +172,19 @@ func DecodeMessage(body []byte) (*Message, error) {
 			return nil, fmt.Errorf("transport: block frame with no coefficients")
 		}
 		if len(rest) != 0 {
-			return nil, fmt.Errorf("transport: %d trailing bytes", len(rest))
+			// The only legal trailer is a complete trace context; a
+			// truncated or oversized suffix must not decode.
+			if len(rest) != traceSuffixLen {
+				return nil, fmt.Errorf("transport: %d trailing bytes", len(rest))
+			}
+			if rest[0] != traceMarker {
+				return nil, fmt.Errorf("transport: bad trace marker 0x%02x", rest[0])
+			}
+			m.Trace.ID = binary.BigEndian.Uint64(rest[1:])
+			m.Trace.Hop = rest[9]
+			if m.Trace.ID == 0 {
+				return nil, fmt.Errorf("transport: trace context with zero ID")
+			}
 		}
 		m.Block = &rlnc.CodedBlock{
 			Seg:     rlnc.SegmentID{Origin: origin, Seq: seq},
@@ -166,7 +211,7 @@ func DecodeMessage(body []byte) (*Message, error) {
 		}
 		flags := rest[0]
 		rest = rest[1:]
-		if flags == 0 || flags&^(pullFlagHint|pullFlagWantInventory) != 0 {
+		if flags == 0 || flags&^(pullFlagHint|pullFlagWantInventory|pullFlagTrace) != 0 {
 			return nil, fmt.Errorf("transport: bad pull flags 0x%02x", flags)
 		}
 		if flags&pullFlagHint != 0 {
@@ -180,6 +225,21 @@ func DecodeMessage(body []byte) (*Message, error) {
 			}
 			m.Seg = rlnc.SegmentID{Origin: origin, Seq: seq}
 			m.HasHint = true
+		}
+		if flags&pullFlagTrace != 0 {
+			var id uint64
+			var err error
+			if id, rest, err = readUint64(rest); err != nil {
+				return nil, err
+			}
+			if len(rest) < 1 {
+				return nil, fmt.Errorf("transport: truncated trace hop")
+			}
+			if id == 0 {
+				return nil, fmt.Errorf("transport: trace context with zero ID")
+			}
+			m.Trace = obs.TraceContext{ID: id, Hop: rest[0]}
+			rest = rest[1:]
 		}
 		m.WantInventory = flags&pullFlagWantInventory != 0
 		if len(rest) != 0 {

@@ -264,16 +264,39 @@ type (
 	// DebugServer is a running debug HTTP endpoint (Prometheus /metrics,
 	// JSON /debug/snapshot, pprof).
 	DebugServer = obs.DebugServer
+	// TraceContext is the sampled lineage a traced block carries on the
+	// wire: a cluster-unique ID plus a hop count. Enable sampling with
+	// SimConfig/NodeConfig/ClusterConfig.TraceSample.
+	TraceContext = obs.TraceContext
+	// ProcessDump is one process's trace contribution — a labeled event
+	// batch from a ring tail, flight recorder, or saved snapshot — fed to
+	// an Assembler (see Cluster.Dumps and ClusterConfig.PerEndpointTrace).
+	ProcessDump = obs.ProcessDump
+	// Span is one sampled segment's stitched end-to-end story across
+	// every process that touched it, with per-hop latency attribution.
+	Span = obs.Span
+	// Assembler stitches per-process dumps into Spans, one per lineage.
+	Assembler = obs.Assembler
+	// FlightRecorder is the always-on crash black box every live server
+	// carries; CrashStop and loop panics dump it next to the WAL.
+	FlightRecorder = obs.FlightRecorder
+	// ObsSnapshot is one registry's scraped state; MergeSnapshots folds
+	// many into a cluster view.
+	ObsSnapshot = obs.Snapshot
 )
 
 // Segment-lifecycle milestone kinds recorded by tracers.
 const (
-	TraceInject     = obs.TraceInject
-	TraceGossipHop  = obs.TraceGossipHop
-	TraceServerRank = obs.TraceServerRank
-	TraceDelivered  = obs.TraceDelivered
-	TraceDecoded    = obs.TraceDecoded
-	TracePurged     = obs.TracePurged
+	TraceInject      = obs.TraceInject
+	TraceGossipHop   = obs.TraceGossipHop
+	TraceServerRank  = obs.TraceServerRank
+	TraceDelivered   = obs.TraceDelivered
+	TraceDecoded     = obs.TraceDecoded
+	TracePurged      = obs.TracePurged
+	TraceExchanged   = obs.TraceExchanged
+	TraceServerStart = obs.TraceServerStart
+	TraceServerStop  = obs.TraceServerStop
+	TraceServerCrash = obs.TraceServerCrash
 )
 
 // NewRingTracer returns a bounded segment-lifecycle tracer holding the last
@@ -281,6 +304,23 @@ const (
 // ServerConfig.Tracer; ClusterConfig.TraceCap attaches a shared one to every
 // endpoint.
 func NewRingTracer(capacity int) *RingTracer { return obs.NewRingTracer(capacity) }
+
+// NewAssembler returns an empty span assembler: Add one ProcessDump per
+// process, then Assemble into end-to-end Spans.
+func NewAssembler() *Assembler { return obs.NewAssembler() }
+
+// MergeSnapshots folds per-endpoint registry snapshots into one cluster
+// view: counters and gauges sum, histograms merge bucket-wise with
+// recomputed percentiles. cmd/obstool does this over live /debug/snapshot
+// scrapes.
+func MergeSnapshots(label string, snaps ...ObsSnapshot) ObsSnapshot {
+	return obs.MergeSnapshots(label, snaps...)
+}
+
+// ReadFlightDump decodes a crash flight-recorder dump file, tolerating a
+// tail torn by the dying process. cmd/obstool postmortem renders one
+// alongside the WAL recovery stats.
+func ReadFlightDump(path string) ([]TraceEvent, error) { return obs.ReadFlightDumpFile(path) }
 
 // ServeDebug serves the given registries on one debug HTTP address (":0"
 // for an ephemeral port): Prometheus text on /metrics, a JSON snapshot on
