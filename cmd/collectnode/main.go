@@ -1,8 +1,9 @@
 // Command collectnode runs one live participant of the indirect collection
-// protocol over TCP: either a peer (generating and gossiping coded
-// statistics blocks) or a logging server (pulling and decoding segments).
+// protocol: either a peer (generating and gossiping coded statistics
+// blocks) or a logging server (pulling and decoding segments).
 //
-// A three-participant session on one machine:
+// A three-participant session on one machine over TCP with a static
+// topology:
 //
 //	collectnode -mode peer   -id 1 -listen 127.0.0.1:7001 \
 //	    -book 2=127.0.0.1:7002,3=127.0.0.1:7003 -neighbors 2
@@ -10,6 +11,17 @@
 //	    -book 1=127.0.0.1:7001,3=127.0.0.1:7003 -neighbors 1
 //	collectnode -mode server -id 3 -listen 127.0.0.1:7003 \
 //	    -book 1=127.0.0.1:7001,2=127.0.0.1:7002 -peers 1,2
+//
+// With -transport=udp every message rides one fire-and-forget datagram,
+// and -join replaces the static topology with SWIM gossip membership: name
+// a few seed members and the process discovers the rest by rumor, so
+// neither -neighbors, -peers, nor a full -book is needed:
+//
+//	collectnode -mode peer   -id 1 -transport udp -listen 127.0.0.1:7001
+//	collectnode -mode peer   -id 2 -transport udp -listen 127.0.0.1:7002 \
+//	    -join 1=127.0.0.1:7001
+//	collectnode -mode server -id 3 -transport udp -listen 127.0.0.1:7003 \
+//	    -join 1=127.0.0.1:7001,2=127.0.0.1:7002
 //
 // The process runs until the duration elapses (or forever with -duration 0,
 // until SIGINT) and prints its statistics on exit.
@@ -43,13 +55,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("collectnode", flag.ContinueOnError)
 	var (
-		mode      = fs.String("mode", "peer", "peer or server")
-		id        = fs.Uint64("id", 1, "node id (unique across the session)")
-		listen    = fs.String("listen", "127.0.0.1:0", "TCP listen address")
-		book      = fs.String("book", "", "address book: id=addr,id=addr,...")
-		neighbors = fs.String("neighbors", "", "peer mode: comma-separated neighbor ids")
-		peersList = fs.String("peers", "", "server mode: comma-separated peer ids to pull from")
-		duration  = fs.Duration("duration", 0, "how long to run (0 = until SIGINT)")
+		mode       = fs.String("mode", "peer", "peer or server")
+		id         = fs.Uint64("id", 1, "node id (unique across the session)")
+		listen     = fs.String("listen", "127.0.0.1:0", "listen address")
+		trKind     = fs.String("transport", "tcp", "transport: tcp (reliable streams) or udp (one fire-and-forget datagram per message)")
+		book       = fs.String("book", "", "address book: id=addr,id=addr,...")
+		neighbors  = fs.String("neighbors", "", "peer mode: comma-separated neighbor ids (static topology)")
+		peersList  = fs.String("peers", "", "server mode: comma-separated peer ids to pull from (static topology)")
+		joinList   = fs.String("join", "", "SWIM membership seeds as id=addr,...: replaces -neighbors/-peers with gossip-discovered membership")
+		swimPeriod = fs.Float64("swim-period", 0, "SWIM probe period in seconds (0 = default)")
+		duration   = fs.Duration("duration", 0, "how long to run (0 = until SIGINT)")
 
 		segSize       = fs.Int("s", 8, "segment size")
 		blockSize     = fs.Int("blocksize", logdata.RecordSize, "payload bytes per block")
@@ -80,11 +95,41 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	tr, err := p2pcollect.NewTCPTransport(p2pcollect.NodeID(*id), *listen, addrBook)
-	if err != nil {
-		return err
+	var tr p2pcollect.Transport
+	var listenAddr string
+	switch *trKind {
+	case "tcp":
+		t, err := p2pcollect.NewTCPTransport(p2pcollect.NodeID(*id), *listen, addrBook)
+		if err != nil {
+			return err
+		}
+		tr, listenAddr = t, t.Addr()
+	case "udp":
+		t, err := p2pcollect.NewUDPTransport(p2pcollect.NodeID(*id), *listen, addrBook)
+		if err != nil {
+			return err
+		}
+		tr, listenAddr = t, t.Addr()
+	default:
+		return fmt.Errorf("unknown -transport %q (want tcp or udp)", *trKind)
 	}
-	fmt.Printf("node %d listening on %s\n", *id, tr.Addr())
+	fmt.Printf("node %d listening on %s (%s)\n", *id, listenAddr, *trKind)
+
+	// -join switches from static topology to SWIM gossip membership: the
+	// listed members bootstrap the detector and everything else arrives by
+	// rumor.
+	var swim *p2pcollect.MembershipConfig
+	if *joinList != "" {
+		seeds, err := parseJoin(*joinList)
+		if err != nil {
+			return fmt.Errorf("-join: %w", err)
+		}
+		swim = &p2pcollect.MembershipConfig{Seeds: seeds, Period: *swimPeriod}
+	} else if *trKind == "udp" && *neighbors == "" && *peersList == "" {
+		// The first member of a gossip cluster has nobody to name: it
+		// bootstraps standalone and is discovered when later nodes -join it.
+		swim = &p2pcollect.MembershipConfig{Period: *swimPeriod}
+	}
 
 	stopAfter := make(<-chan time.Time)
 	if *duration > 0 {
@@ -99,8 +144,8 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("-neighbors: %w", err)
 		}
-		if len(ids) == 0 {
-			return fmt.Errorf("peer mode needs -neighbors")
+		if len(ids) == 0 && swim == nil {
+			return fmt.Errorf("peer mode needs -neighbors (or -join for gossip membership)")
 		}
 		node, err := p2pcollect.NewNode(tr, p2pcollect.NodeConfig{
 			SegmentSize: *segSize,
@@ -110,6 +155,7 @@ func run(args []string) error {
 			Gamma:       *gamma,
 			BufferCap:   *bufferCap,
 			Neighbors:   ids,
+			Membership:  swim,
 			Seed:        *seed,
 			DebugAddr:   *debugAddr,
 			TraceSample: *traceSample,
@@ -144,6 +190,7 @@ func run(args []string) error {
 		srvCfg := p2pcollect.ServerConfig{
 			PullRate:      *pullRate,
 			Peers:         ids,
+			Membership:    swim,
 			Seed:          *seed,
 			DebugAddr:     *debugAddr,
 			DecodeWorkers: *decodeWorkers,
@@ -277,6 +324,21 @@ func parseBook(s string) (map[p2pcollect.NodeID]string, error) {
 		book[p2pcollect.NodeID(n)] = addr
 	}
 	return book, nil
+}
+
+// parseJoin parses "id=addr,..." into SWIM seed members. Seeds are
+// assumed to be peers; their true role is corrected by the first direct
+// contact or rumor.
+func parseJoin(s string) ([]p2pcollect.Member, error) {
+	book, err := parseBook(s)
+	if err != nil {
+		return nil, err
+	}
+	seeds := make([]p2pcollect.Member, 0, len(book))
+	for id, addr := range book {
+		seeds = append(seeds, p2pcollect.Member{ID: id, Addr: addr, Role: p2pcollect.MemberPeer})
+	}
+	return seeds, nil
 }
 
 // parseShardBook parses "0=3,1=4" into a shard-index → node-ID map.

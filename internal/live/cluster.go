@@ -7,6 +7,7 @@ import (
 
 	"p2pcollect/internal/collect/store/wal"
 	"p2pcollect/internal/fleet"
+	"p2pcollect/internal/membership"
 	"p2pcollect/internal/obs"
 	"p2pcollect/internal/pullsched"
 	"p2pcollect/internal/randx"
@@ -72,6 +73,18 @@ type ClusterConfig struct {
 	// labelled dump per endpoint, ready for obs.Assembler to stitch
 	// cross-endpoint spans.
 	PerEndpointTrace bool
+	// Membership replaces the static overlay with SWIM gossip membership:
+	// no random k-neighbor graph is drawn and no server gets a fixed peer
+	// roster. Instead every endpoint runs a failure detector seeded with
+	// the first few peer IDs, discovers the rest by rumor, and gossips to
+	// whatever the detector currently believes is alive — so peers can
+	// join, crash, and rejoin mid-collection. Degree is ignored in this
+	// mode.
+	Membership bool
+	// MembershipTuning, when Membership is set, is the SWIM config template
+	// applied to every endpoint (Seeds and the RNG seed are filled per
+	// endpoint). Nil accepts the membership package defaults.
+	MembershipTuning *membership.Config
 	// Durability, when Dir is non-empty, gives every server a write-ahead
 	// log under <Dir>/shard-<j> with the configured sync policy, and — in
 	// fleet mode — makes the shared delivery journal durable at
@@ -140,9 +153,37 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 		return nil, fmt.Errorf("live: cluster needs at least 1 server")
 	}
 	rng := randx.New(cfg.Seed)
-	graph, err := topology.RandomKNeighbor(cfg.Peers, cfg.Degree, rng)
-	if err != nil {
-		return nil, err
+	// Membership mode draws no topology: the overlay is whatever SWIM
+	// discovers. Static mode keeps the exact RNG sequence of every prior
+	// release, so seeded goldens stay byte-identical.
+	var graph *topology.Graph
+	if !cfg.Membership {
+		var err error
+		graph, err = topology.RandomKNeighbor(cfg.Peers, cfg.Degree, rng)
+		if err != nil {
+			return nil, err
+		}
+	}
+	// swimCfg stamps a fresh per-endpoint copy of the SWIM template with
+	// the shared seed list. The first few peer IDs anchor the gossip; the
+	// per-endpoint RNG seed is left for newNodeAgent to derive.
+	var swimSeeds []membership.Member
+	if cfg.Membership {
+		n := cfg.Peers
+		if n > 3 {
+			n = 3
+		}
+		for i := 0; i < n; i++ {
+			swimSeeds = append(swimSeeds, membership.Member{ID: transport.NodeID(i + 1), Role: membership.RolePeer})
+		}
+	}
+	swimCfg := func() *membership.Config {
+		var mc membership.Config
+		if cfg.MembershipTuning != nil {
+			mc = *cfg.MembershipTuning
+		}
+		mc.Seeds = swimSeeds
+		return &mc
 	}
 	c := &Cluster{Network: transport.NewNetwork()}
 	// The shared tracer draws no randomness, so attaching it cannot perturb
@@ -183,8 +224,12 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 	}
 	for i := 0; i < cfg.Peers; i++ {
 		nodeCfg := cfg.Node
-		for _, nb := range graph.Neighbors(i) {
-			nodeCfg.Neighbors = append(nodeCfg.Neighbors, transport.NodeID(nb+1))
+		if cfg.Membership {
+			nodeCfg.Membership = swimCfg()
+		} else {
+			for _, nb := range graph.Neighbors(i) {
+				nodeCfg.Neighbors = append(nodeCfg.Neighbors, transport.NodeID(nb+1))
+			}
 		}
 		nodeCfg.Seed = rng.Int63()
 		nodeCfg.TraceSample = cfg.TraceSample
@@ -239,6 +284,10 @@ func StartCluster(cfg ClusterConfig) (*Cluster, error) {
 			Policy:         policy,
 			SampleInterval: cfg.Node.SampleInterval,
 			DecodeWorkers:  cfg.DecodeWorkers,
+		}
+		if cfg.Membership {
+			srvCfg.Peers = nil
+			srvCfg.Membership = swimCfg()
 		}
 		if cfg.Fleet {
 			srvCfg.Shards = cfg.Servers

@@ -1,0 +1,39 @@
+package live
+
+import (
+	"p2pcollect/internal/membership"
+	"p2pcollect/internal/transport"
+)
+
+// newNodeAgent wires a SWIM agent to an endpoint's transport: outbound
+// packets ride MsgSwim frames, learned member addresses feed the
+// transport's address book when it has one, and every status transition is
+// reported to onUpdate before any user callback from the config. The
+// agent's RNG is decoupled from the endpoint's protocol seed via
+// memberSeedSalt unless the config pins its own.
+func newNodeAgent(tr transport.Transport, role membership.Role, mcfg membership.Config, seed int64, onUpdate func(membership.Member, membership.Status)) *membership.Agent {
+	self := membership.Member{ID: tr.LocalID(), Role: role}
+	if a, ok := tr.(interface{ Addr() string }); ok {
+		self.Addr = a.Addr()
+	}
+	if mcfg.Seed == 0 {
+		mcfg.Seed = seed ^ memberSeedSalt
+	}
+	userUpdate := mcfg.OnUpdate
+	mcfg.OnUpdate = func(m membership.Member, st membership.Status) {
+		onUpdate(m, st)
+		if userUpdate != nil {
+			userUpdate(m, st)
+		}
+	}
+	var addRoute func(transport.NodeID, string)
+	if r, ok := tr.(interface {
+		AddRoute(transport.NodeID, string)
+	}); ok {
+		addRoute = r.AddRoute
+	}
+	send := func(to transport.NodeID, raw []byte) {
+		tr.Send(to, &transport.Message{Type: transport.MsgSwim, Raw: raw}) //nolint:errcheck // best-effort probe
+	}
+	return membership.NewAgent(self, mcfg, send, addRoute)
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"p2pcollect/internal/logdata"
+	"p2pcollect/internal/membership"
 	"p2pcollect/internal/obs"
 	"p2pcollect/internal/peercore"
 	"p2pcollect/internal/pullsched"
@@ -32,6 +33,11 @@ const reapInterval = 20 * time.Millisecond
 // simulator uses for its policy RNG: tracing draws never perturb the
 // seeded protocol sequence.
 const traceSeedSalt = 0x7ace5eed
+
+// memberSeedSalt derives a node's membership RNG stream from its protocol
+// seed when the Membership config leaves Seed zero — same decoupling as
+// traceSeedSalt, so probe schedules never perturb protocol draws.
+const memberSeedSalt = 0x5317b007
 
 // NodeConfig parameterizes one live peer. Rates are per second.
 type NodeConfig struct {
@@ -53,8 +59,21 @@ type NodeConfig struct {
 	// neighbor's holding has almost surely lost blocks to TTL expiry and
 	// wants gossip again. Zero selects 3/Gamma (a few TTL means).
 	NoticeTTL float64
-	// Neighbors are the peers this node gossips to.
+	// Neighbors are the peers this node gossips to. With Membership set
+	// they become the initial target set (usually left empty — the live
+	// view fills it); without it they are the whole, static topology.
 	Neighbors []transport.NodeID
+	// Membership, when non-nil, runs a SWIM failure detector over the
+	// node's transport (piggybacked on MsgSwim frames) and makes the
+	// gossip target set track the live membership view: members join by
+	// rumor, the dead and the departed are dropped. The config's Seeds are
+	// the join contacts; its Seed, when zero, is derived from the node
+	// Seed. Nil keeps the static Neighbors topology.
+	Membership *membership.Config
+	// MaxSegments, when positive, stops statistics injection after that
+	// many segments, making the node's contribution — and thus a test's
+	// expected delivery set — finite and exact. Zero means unbounded.
+	MaxSegments int
 	// Seed makes the node's randomness reproducible.
 	Seed int64
 	// Tracer receives segment-lifecycle milestones (injections, gossip
@@ -133,6 +152,11 @@ type Node struct {
 	traceRNG *randx.Rand // sampling decisions + trace IDs; nil when TraceSample is 0
 	core     *peercore.Peer
 	counters *peercore.Counters
+	// peers is the gossip target set: fixed at cfg.Neighbors under the
+	// static topology, updated by membership transitions when the SWIM
+	// agent runs. Guarded by mu like the protocol RNG that samples it.
+	peers *peercore.PeerSet
+	agent *membership.Agent // nil without cfg.Membership
 	// fullAt maps segment → neighbor → node-clock deadline until which the
 	// neighbor's segment-complete notice suppresses gossip of that segment
 	// toward it. Entries expire (reap) so a neighbor whose holding drained
@@ -174,10 +198,17 @@ func NewNode(tr transport.Transport, cfg NodeConfig) (*Node, error) {
 		rng:      rng,
 		core:     core,
 		counters: counters,
+		peers:    peercore.NewPeerSet(),
 		fullAt:   make(map[rlnc.SegmentID]map[transport.NodeID]float64),
 		gen:      logdata.NewGenerator(uint64(tr.LocalID()), rng.Fork()),
 		tracer:   cfg.Tracer,
 		stop:     make(chan struct{}),
+	}
+	for _, nb := range cfg.Neighbors {
+		n.peers.Add(uint64(nb))
+	}
+	if cfg.Membership != nil {
+		n.agent = newNodeAgent(tr, membership.RolePeer, *cfg.Membership, cfg.Seed, n.onMember)
 	}
 	if n.tracer == nil {
 		n.tracer = obs.NopTracer{}
@@ -209,6 +240,28 @@ func (n *Node) Registry() *obs.Registry { return n.reg }
 // ID returns the node's network identity.
 func (n *Node) ID() transport.NodeID { return n.tr.LocalID() }
 
+// Membership returns the node's SWIM agent, or nil when the node runs a
+// static topology.
+func (n *Node) Membership() *membership.Agent { return n.agent }
+
+// onMember folds membership transitions into the gossip target set: alive
+// peers are targets, the dead and the departed are not. Suspects stay —
+// SWIM suspicion is a grace period, not a verdict — and servers never
+// enter the set (gossip flows peer-to-peer; servers pull).
+func (n *Node) onMember(m membership.Member, st membership.Status) {
+	if m.Role != membership.RolePeer || m.ID == n.tr.LocalID() {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	switch st {
+	case membership.StatusAlive:
+		n.peers.Add(uint64(m.ID))
+	case membership.StatusDead, membership.StatusLeft:
+		n.peers.Remove(uint64(m.ID))
+	}
+}
+
 // Start launches the protocol loops. It is an error to start twice.
 func (n *Node) Start() error {
 	n.startMu.Lock()
@@ -234,6 +287,9 @@ func (n *Node) Start() error {
 		n.wg.Add(1)
 		go n.injectLoop()
 	}
+	if n.agent != nil {
+		n.agent.Start()
+	}
 	return nil
 }
 
@@ -255,6 +311,32 @@ func (n *Node) Stop() {
 		return
 	}
 	n.running = false
+	if n.agent != nil {
+		// Leave gracefully while the transport can still carry the rumor.
+		n.agent.Stop()
+	}
+	close(n.stop)
+	n.tr.Close()
+	n.wg.Wait()
+	if n.debug != nil {
+		n.debug.Close() //nolint:errcheck // shutdown path
+		n.debug = nil
+	}
+}
+
+// Crash hard-stops the node the way a killed process would: no leave
+// rumor, no goodbye. The rest of the cluster must detect the death by
+// probing, exactly as for a real crash. For chaos and churn tests.
+func (n *Node) Crash() {
+	n.startMu.Lock()
+	defer n.startMu.Unlock()
+	if !n.running {
+		return
+	}
+	n.running = false
+	if n.agent != nil {
+		n.agent.Kill()
+	}
 	close(n.stop)
 	n.tr.Close()
 	n.wg.Wait()
@@ -320,12 +402,18 @@ func (n *Node) injectLoop() {
 	rate := n.cfg.Lambda / float64(n.cfg.SegmentSize)
 	timer := time.NewTimer(n.expDelay(rate))
 	defer timer.Stop()
+	var injected int
 	for {
 		select {
 		case <-n.stop:
 			return
 		case <-timer.C:
-			n.inject()
+			if n.inject() {
+				injected++
+				if n.cfg.MaxSegments > 0 && injected >= n.cfg.MaxSegments {
+					return
+				}
+			}
 			timer.Reset(n.expDelay(rate))
 		}
 	}
@@ -334,12 +422,14 @@ func (n *Node) injectLoop() {
 // inject generates one segment of fresh statistics records and stores its
 // source blocks (suppressed by the core when the buffer is above B−s).
 // With trace sampling enabled, a sampled segment is minted a cluster-
-// unique lineage here — hop 0, the root of its eventual span.
-func (n *Node) inject() {
+// unique lineage here — hop 0, the root of its eventual span. Reports
+// whether a segment was injected, so injectLoop can enforce MaxSegments.
+func (n *Node) inject() bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	now := n.now()
-	if segID, _, ok := n.core.Inject(now, n.makePayloads); ok {
+	segID, _, ok := n.core.Inject(now, n.makePayloads)
+	if ok {
 		var tctx obs.TraceContext
 		if n.traceRNG != nil && n.traceRNG.Float64() < n.cfg.TraceSample {
 			tctx = obs.TraceContext{ID: n.mintTraceID()}
@@ -351,6 +441,7 @@ func (n *Node) inject() {
 			TraceID: tctx.ID, Hop: tctx.Hop,
 		})
 	}
+	return ok
 }
 
 // mintTraceID draws a nonzero lineage identifier: 63 random bits folded
@@ -417,7 +508,7 @@ func (n *Node) gossipLoop() {
 func (n *Node) prepareGossip() (transport.NodeID, *transport.Message, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if len(n.cfg.Neighbors) == 0 {
+	if n.peers.Len() == 0 {
 		return 0, nil, false
 	}
 	segID, ok := n.core.SampleSegment()
@@ -426,8 +517,9 @@ func (n *Node) prepareGossip() (transport.NodeID, *transport.Message, bool) {
 	}
 	now := n.now()
 	full := n.fullAt[segID]
-	candidates := make([]transport.NodeID, 0, len(n.cfg.Neighbors))
-	for _, nb := range n.cfg.Neighbors {
+	candidates := make([]transport.NodeID, 0, n.peers.Len())
+	for i := 0; i < n.peers.Len(); i++ {
+		nb := transport.NodeID(n.peers.At(i))
 		if deadline, muted := full[nb]; !muted || now >= deadline {
 			candidates = append(candidates, nb)
 		}
@@ -514,6 +606,10 @@ func (n *Node) handle(m *transport.Message) {
 		n.mu.Unlock()
 	case transport.MsgPullRequest:
 		n.servePull(m)
+	case transport.MsgSwim:
+		if n.agent != nil {
+			n.agent.Deliver(m.From, m.Raw)
+		}
 	case transport.MsgEmpty:
 		// Peers ignore empties; they are server-bound.
 	}
@@ -540,11 +636,15 @@ func (n *Node) receiveBlock(m *transport.Message) {
 			TraceID: m.Trace.ID, Hop: m.Trace.Hop,
 		})
 	}
+	var targets []uint64
+	if justFull {
+		targets = n.peers.Snapshot()
+	}
 	n.mu.Unlock()
 	if justFull {
 		notice := &transport.Message{Type: transport.MsgSegmentComplete, Seg: m.Block.Seg}
-		for _, nb := range n.cfg.Neighbors {
-			n.tr.Send(nb, notice) //nolint:errcheck // best-effort notice
+		for _, nb := range targets {
+			n.tr.Send(transport.NodeID(nb), notice) //nolint:errcheck // best-effort notice
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"p2pcollect/internal/collect"
 	"p2pcollect/internal/collect/store/wal"
 	"p2pcollect/internal/fleet"
+	"p2pcollect/internal/membership"
 	"p2pcollect/internal/metrics"
 	"p2pcollect/internal/obs"
 	"p2pcollect/internal/peercore"
@@ -48,8 +49,16 @@ const flightRecorderCap = 4096
 type ServerConfig struct {
 	// PullRate is c_s: pull requests issued per second.
 	PullRate float64
-	// Peers are the nodes this server probes, uniformly at random.
+	// Peers are the nodes this server probes, uniformly at random. With
+	// Membership set they seed the pull target set, which then tracks the
+	// live view; without it they are the whole, static set.
 	Peers []transport.NodeID
+	// Membership, when non-nil, runs a SWIM failure detector over the
+	// server's transport and makes the pull target set track the live
+	// membership view (peers only — fellow servers are discovered but not
+	// pulled from). Peers may then be empty; the config's Seeds bootstrap
+	// discovery. Nil keeps the static Peers set.
+	Membership *membership.Config
 	// SegmentSize is s, the coding generation size the server expects.
 	// Zero means infer it from the first block that arrives; blocks of any
 	// other size are then dropped as malformed.
@@ -126,7 +135,7 @@ func (c ServerConfig) validate() error {
 	switch {
 	case c.PullRate < 0:
 		return errors.New("live: negative pull rate")
-	case len(c.Peers) == 0:
+	case len(c.Peers) == 0 && c.Membership == nil:
 		return errors.New("live: server needs at least one peer")
 	case c.SegmentSize < 0:
 		return errors.New("live: negative SegmentSize")
@@ -178,6 +187,11 @@ type Server struct {
 	svc      *collect.Service
 	counters *peercore.Counters
 	started  time.Time
+	// peers is the pull target set: fixed at cfg.Peers under the static
+	// topology, updated by membership transitions when the SWIM agent
+	// runs. Guarded by mu like the RNG that samples it.
+	peers *peercore.PeerSet
+	agent *membership.Agent // nil without cfg.Membership
 
 	// Fleet state (nil/empty when standalone). exchRNG drives recoding for
 	// exchange forwards — separate from rng so fleet mode adds no draws to
@@ -223,9 +237,16 @@ func NewServer(tr transport.Transport, cfg ServerConfig) (*Server, error) {
 		tr:       tr,
 		rng:      randx.New(cfg.Seed),
 		counters: peercore.NewCounters(),
+		peers:    peercore.NewPeerSet(),
 		tracer:   cfg.Tracer,
 		pending:  make(map[transport.NodeID]float64),
 		stop:     make(chan struct{}),
+	}
+	for _, p := range cfg.Peers {
+		s.peers.Add(uint64(p))
+	}
+	if cfg.Membership != nil {
+		s.agent = newNodeAgent(tr, membership.RoleServer, *cfg.Membership, cfg.Seed, s.onMember)
 	}
 	if s.tracer == nil {
 		s.tracer = obs.NopTracer{}
@@ -328,6 +349,27 @@ func (s *Server) ID() transport.NodeID { return s.tr.LocalID() }
 // Service exposes the server's collection service (tests and tools).
 func (s *Server) Service() *collect.Service { return s.svc }
 
+// Membership returns the server's SWIM agent, or nil when the server uses
+// a static peer set.
+func (s *Server) Membership() *membership.Agent { return s.agent }
+
+// onMember folds membership transitions into the pull target set: alive
+// peers are pullable, the dead and the departed are not, and fellow
+// servers are tracked by the detector but never pulled from.
+func (s *Server) onMember(m membership.Member, st membership.Status) {
+	if m.Role != membership.RolePeer {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch st {
+	case membership.StatusAlive:
+		s.peers.Add(uint64(m.ID))
+	case membership.StatusDead, membership.StatusLeft:
+		s.peers.Remove(uint64(m.ID))
+	}
+}
+
 // Start launches the pull and receive loops.
 func (s *Server) Start() error {
 	s.startMu.Lock()
@@ -353,6 +395,9 @@ func (s *Server) Start() error {
 		s.wg.Add(1)
 		go s.pullLoop()
 	}
+	if s.agent != nil {
+		s.agent.Start()
+	}
 	return nil
 }
 
@@ -373,6 +418,10 @@ func (s *Server) Stop() {
 		return
 	}
 	s.running = false
+	if s.agent != nil {
+		// Leave gracefully while the transport can still carry the rumor.
+		s.agent.Stop()
+	}
 	close(s.stop)
 	s.tr.Close()
 	s.wg.Wait()
@@ -400,6 +449,11 @@ func (s *Server) CrashStop() {
 		return
 	}
 	s.running = false
+	if s.agent != nil {
+		// A crash says no goodbye: halt the detector without a leave
+		// broadcast, so the rest of the cluster must detect the failure.
+		s.agent.Kill()
+	}
 	close(s.stop)
 	s.tr.Close()
 	s.wg.Wait()
@@ -555,8 +609,11 @@ func (s *Server) pullLoop() {
 type liveEnv struct{ s *Server }
 
 func (e liveEnv) SamplePeer() (pullsched.PeerRef, bool) {
-	peers := e.s.cfg.Peers
-	return pullsched.PeerRef(peers[e.s.rng.Intn(len(peers))]), true
+	peers := e.s.peers
+	if peers.Len() == 0 {
+		return 0, false
+	}
+	return pullsched.PeerRef(peers.At(e.s.rng.Intn(peers.Len()))), true
 }
 
 func (s *Server) recvLoop() {
@@ -588,6 +645,10 @@ func (s *Server) recvLoop() {
 				s.mu.Lock()
 				s.svc.HandleInventory(s.now(), pullsched.PeerRef(m.From), m.Inventory)
 				s.mu.Unlock()
+			case transport.MsgSwim:
+				if s.agent != nil {
+					s.agent.Deliver(m.From, m.Raw)
+				}
 			default:
 				// Servers ignore peer-to-peer chatter.
 			}

@@ -1,0 +1,300 @@
+package live
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"p2pcollect/internal/membership"
+	"p2pcollect/internal/randx"
+	"p2pcollect/internal/rlnc"
+	"p2pcollect/internal/transport"
+)
+
+// The differential tests bound every peer's injection (MaxSegments) and
+// slow TTL expiry to a crawl (Gamma well below the pull rate), so "full
+// delivery" is a well-defined exact set: every injected segment must be
+// reconstructed by the server, whatever the transport drops along the way.
+// That is the RLNC claim under test — coded blocks are fungible, so a
+// lossy datagram fabric converges to the same delivered set as reliable
+// streams, just along a different path.
+
+// boundedNodeConfig is fastNodeConfig with injection capped and TTL expiry
+// effectively disabled, so a run terminates with an exact delivered set.
+func boundedNodeConfig(perPeer int) NodeConfig {
+	cfg := fastNodeConfig()
+	// Mean block TTL ~11 days: TTL expiry is disabled in all but name
+	// (validation requires Gamma > 0), so the only way a segment dimension
+	// can vanish is a transport or membership bug — exactly what these
+	// tests are after. At practical Gamma a dimension can legitimately
+	// expire before it is ever gossiped off its origin, which makes "full
+	// delivery" probabilistic; see the sim package for that regime.
+	cfg.Gamma = 1e-6
+	cfg.MaxSegments = perPeer
+	return cfg
+}
+
+// expectedSegments is the full delivered set for peers 1..P injecting
+// perPeer segments each (peercore assigns Seq 0,1,... per origin).
+func expectedSegments(peers, perPeer int) map[rlnc.SegmentID]bool {
+	want := make(map[rlnc.SegmentID]bool, peers*perPeer)
+	for origin := 1; origin <= peers; origin++ {
+		for seq := 0; seq < perPeer; seq++ {
+			want[rlnc.SegmentID{Origin: uint64(origin), Seq: uint64(seq)}] = true
+		}
+	}
+	return want
+}
+
+// segSet is a mutex-guarded delivered-segment set fed by Server.OnSegment.
+type segSet struct {
+	mu  sync.Mutex
+	ids map[rlnc.SegmentID]bool
+}
+
+func newSegSet() *segSet { return &segSet{ids: make(map[rlnc.SegmentID]bool)} }
+
+func (s *segSet) observe(id rlnc.SegmentID, _ [][]byte) {
+	s.mu.Lock()
+	s.ids[id] = true
+	s.mu.Unlock()
+}
+
+func (s *segSet) len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.ids)
+}
+
+func (s *segSet) has(id rlnc.SegmentID) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ids[id]
+}
+
+func (s *segSet) snapshot() map[rlnc.SegmentID]bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[rlnc.SegmentID]bool, len(s.ids))
+	for id := range s.ids {
+		out[id] = true
+	}
+	return out
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("timed out after %v waiting for %s", d, what)
+}
+
+// runTCPGolden collects the delivered-segment set of a statically-wired
+// full-mesh TCP cluster — the reference the datagram runs must match.
+func runTCPGolden(t *testing.T, peers, perPeer int) map[rlnc.SegmentID]bool {
+	t.Helper()
+	addrs := make(map[transport.NodeID]string, peers+1)
+	trs := make([]*transport.TCPTransport, 0, peers+1)
+	for i := 1; i <= peers+1; i++ {
+		tr, err := transport.ListenTCP(transport.NodeID(i), "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[transport.NodeID(i)] = tr.Addr()
+		trs = append(trs, tr)
+	}
+	for _, tr := range trs {
+		for id, addr := range addrs {
+			if id != tr.LocalID() {
+				tr.AddRoute(id, addr)
+			}
+		}
+	}
+	var nodes []*Node
+	for i := 0; i < peers; i++ {
+		cfg := boundedNodeConfig(perPeer)
+		for j := 1; j <= peers; j++ {
+			if transport.NodeID(j) != trs[i].LocalID() {
+				cfg.Neighbors = append(cfg.Neighbors, transport.NodeID(j))
+			}
+		}
+		cfg.Seed = int64(i + 1)
+		n, err := NewNode(trs[i], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	peerIDs := make([]transport.NodeID, peers)
+	for i := range peerIDs {
+		peerIDs[i] = transport.NodeID(i + 1)
+	}
+	srv, err := NewServer(trs[peers], ServerConfig{PullRate: 200, Peers: peerIDs, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := newSegSet()
+	srv.OnSegment = got.observe
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Stop()
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	waitFor(t, 60*time.Second, "TCP full delivery", func() bool {
+		return got.len() >= peers*perPeer
+	})
+	return got.snapshot()
+}
+
+// runUDPSwim collects the delivered-segment set of a UDP cluster that
+// discovers its whole topology through SWIM: only the three seed members
+// are configured, everything else arrives by rumor. lossProb seeds a
+// Faulty wrapper on every endpoint; kill crashes the highest-ID peer (no
+// leave rumor) once its own segments are home, so the rest of the run
+// rides on the surviving membership view.
+func runUDPSwim(t *testing.T, peers, perPeer int, lossProb float64, kill bool) map[rlnc.SegmentID]bool {
+	t.Helper()
+	trs := make([]transport.Transport, 0, peers+1)
+	addrs := make([]string, 0, peers+1)
+	for i := 1; i <= peers+1; i++ {
+		u, err := transport.ListenUDP(transport.NodeID(i), "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs = append(addrs, u.Addr())
+		var tr transport.Transport = u
+		if lossProb > 0 {
+			tr = transport.NewFaulty(tr, transport.FaultConfig{LossProb: lossProb}, randx.New(int64(i)*7919+1))
+		}
+		trs = append(trs, tr)
+	}
+	var seeds []membership.Member
+	for i := 0; i < 3 && i < peers; i++ {
+		seeds = append(seeds, membership.Member{ID: transport.NodeID(i + 1), Addr: addrs[i], Role: membership.RolePeer})
+	}
+	swim := func() *membership.Config {
+		return &membership.Config{Seeds: seeds, Period: 0.2, SuspectTimeout: 1.0}
+	}
+	var nodes []*Node
+	for i := 0; i < peers; i++ {
+		cfg := boundedNodeConfig(perPeer)
+		cfg.Seed = int64(i + 1)
+		cfg.Membership = swim()
+		n, err := NewNode(trs[i], cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	srv, err := NewServer(trs[peers], ServerConfig{PullRate: 200, Seed: 9, Membership: swim()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := newSegSet()
+	srv.OnSegment = got.observe
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Stop()
+		for _, n := range nodes {
+			n.Stop()
+		}
+	}()
+	if kill {
+		victim := nodes[peers-1]
+		waitFor(t, 60*time.Second, "victim's segments delivered", func() bool {
+			for seq := 0; seq < perPeer; seq++ {
+				if !got.has(rlnc.SegmentID{Origin: uint64(peers), Seq: uint64(seq)}) {
+					return false
+				}
+			}
+			return true
+		})
+		victim.Crash()
+	}
+	deadline := time.Now().Add(90 * time.Second)
+	for got.len() < peers*perPeer {
+		if time.Now().After(deadline) {
+			for id := range expectedSegments(peers, perPeer) {
+				if !got.has(id) {
+					t.Logf("missing segment %v", id)
+				}
+			}
+			t.Logf("server alive view: %d members", len(srv.Membership().Alive()))
+			for i, n := range nodes {
+				if kill && i == peers-1 {
+					continue
+				}
+				st := n.Stats()
+				t.Logf("node %d: alive view %d, buffered %d blocks / %d segments",
+					i+1, len(n.Membership().Alive()), st.BufferedBlocks, st.BufferedSegments)
+			}
+			t.Fatalf("timed out waiting for UDP full delivery: %d/%d segments", got.len(), peers*perPeer)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return got.snapshot()
+}
+
+func diffSegSets(t *testing.T, label string, got, want map[rlnc.SegmentID]bool) {
+	t.Helper()
+	for id := range want {
+		if !got[id] {
+			t.Errorf("%s: missing segment %v", label, id)
+		}
+	}
+	for id := range got {
+		if !want[id] {
+			t.Errorf("%s: unexpected segment %v", label, id)
+		}
+	}
+}
+
+// TestUDPSWIMDifferentialZeroLoss runs the same bounded collection twice —
+// once over statically-wired TCP streams (the golden reference), once over
+// UDP datagrams with SWIM-discovered membership — and requires both to
+// deliver exactly the same segment set. The datagram run has no static
+// topology at all: if discovery, route learning, or the datagram codec
+// lose anything the streams carry, the sets diverge.
+func TestUDPSWIMDifferentialZeroLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket differential test")
+	}
+	const peers, perPeer = 5, 2
+	want := expectedSegments(peers, perPeer)
+	tcpSet := runTCPGolden(t, peers, perPeer)
+	udpSet := runUDPSwim(t, peers, perPeer, 0, false)
+	diffSegSets(t, "tcp vs expected", tcpSet, want)
+	diffSegSets(t, "udp vs expected", udpSet, want)
+	diffSegSets(t, "udp vs tcp", udpSet, tcpSet)
+}
+
+// TestUDPSWIMLossAndCrashFullDelivery reruns the datagram collection with
+// 20% seeded send-side loss on every endpoint and the highest-ID peer
+// crashed (no leave) mid-run, and still requires the full delivered set:
+// coded blocks are fungible, so dropped datagrams and a dead gossip
+// partner only delay convergence, never prevent it.
+func TestUDPSWIMLossAndCrashFullDelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-socket chaos test")
+	}
+	const peers, perPeer = 5, 2
+	udpSet := runUDPSwim(t, peers, perPeer, 0.2, true)
+	diffSegSets(t, "udp under loss vs expected", udpSet, expectedSegments(peers, perPeer))
+}

@@ -1,0 +1,142 @@
+package membership
+
+import (
+	"sync"
+	"time"
+
+	"p2pcollect/internal/transport"
+)
+
+// Agent drives a SWIM core in real time on behalf of a live node: a ticker
+// goroutine advances the detector several times per probe period, Deliver
+// feeds it inbound MsgSwim payloads, and every packet the core emits goes
+// out through the send hook. A mutex serializes the core; packets are sent
+// outside the lock so a slow transport never stalls the detector.
+type Agent struct {
+	send     func(to transport.NodeID, raw []byte)
+	addRoute func(id transport.NodeID, addr string)
+
+	mu    sync.Mutex
+	s     *SWIM
+	start time.Time
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+}
+
+// NewAgent builds (but does not start) an agent. send carries one SWIM
+// packet to a destination — wrap it in a MsgSwim transport message.
+// addRoute, if non-nil, is told every member address the detector learns
+// (including the seeds), so an address-book transport can dial members
+// discovered by rumor; pass nil for transports without addressing.
+// cfg.OnUpdate is invoked after addRoute has been told about the member.
+func NewAgent(self Member, cfg Config, send func(to transport.NodeID, raw []byte), addRoute func(id transport.NodeID, addr string)) *Agent {
+	a := &Agent{
+		send:     send,
+		addRoute: addRoute,
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+	}
+	userUpdate := cfg.OnUpdate
+	cfg.OnUpdate = func(m Member, st Status) {
+		if st == StatusAlive && m.Addr != "" && a.addRoute != nil {
+			a.addRoute(m.ID, m.Addr)
+		}
+		if userUpdate != nil {
+			userUpdate(m, st)
+		}
+	}
+	a.s = New(self, cfg)
+	if a.addRoute != nil {
+		for _, seed := range cfg.Seeds {
+			if seed.Addr != "" && seed.ID != self.ID {
+				a.addRoute(seed.ID, seed.Addr)
+			}
+		}
+	}
+	return a
+}
+
+// now is the agent's monotonic clock in seconds, the unit the core speaks.
+func (a *Agent) now() float64 { return time.Since(a.start).Seconds() }
+
+// Start launches the ticker goroutine. Probing begins immediately.
+func (a *Agent) Start() {
+	a.wg.Add(1)
+	go a.run()
+}
+
+func (a *Agent) run() {
+	defer a.wg.Done()
+	a.mu.Lock()
+	interval := time.Duration(a.s.cfg.Period / 4 * float64(time.Second))
+	a.mu.Unlock()
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.mu.Lock()
+			pkts := a.s.Tick(a.now())
+			a.mu.Unlock()
+			a.dispatch(pkts)
+		}
+	}
+}
+
+// Deliver feeds one inbound SWIM payload (a MsgSwim frame's Raw bytes) to
+// the detector and sends whatever it answers.
+func (a *Agent) Deliver(from transport.NodeID, raw []byte) {
+	a.mu.Lock()
+	pkts := a.s.Handle(a.now(), from, raw)
+	a.mu.Unlock()
+	a.dispatch(pkts)
+}
+
+// Alive snapshots the members currently considered alive (self excluded).
+func (a *Agent) Alive() []Member {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.s.Alive()
+}
+
+// Status reports the local view of one member.
+func (a *Agent) Status(id transport.NodeID) (Status, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.s.Status(id)
+}
+
+// Kill halts the ticker without the leave broadcast — the crash path. The
+// rest of the cluster must discover the death through probing, exactly as
+// it would for a real crash. Safe to call more than once, and a later
+// Stop becomes a plain wait.
+func (a *Agent) Kill() {
+	a.once.Do(func() { close(a.stop) })
+	a.wg.Wait()
+}
+
+// Stop broadcasts a leave to a few alive members, halts the ticker, and
+// waits for it. Safe to call more than once.
+func (a *Agent) Stop() {
+	a.once.Do(func() {
+		a.mu.Lock()
+		pkts := a.s.Leave(a.now())
+		a.mu.Unlock()
+		a.dispatch(pkts)
+		close(a.stop)
+	})
+	a.wg.Wait()
+}
+
+func (a *Agent) dispatch(pkts []Packet) {
+	for _, p := range pkts {
+		a.send(p.To, p.Raw)
+	}
+}

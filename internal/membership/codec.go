@@ -1,0 +1,178 @@
+package membership
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"p2pcollect/internal/transport"
+)
+
+// SWIM packet wire format (carried opaquely in a transport MsgSwim frame):
+//
+//	u8 version=1 | u8 kind | u32 seq | u64 about |
+//	sender intro: u8 role | u32 incarnation | u8 addrLen | addr |
+//	u16 nrumors | nrumors × (u8 status | u8 role | u64 id | u32 inc |
+//	                          u8 addrLen | addr)
+//
+// kind is ping, ack, or ping-req. seq correlates a proxy's forwarded ping
+// with the ack it must relay; about names the member the packet is about
+// (the probe target). Every packet introduces its sender — role,
+// incarnation, and dialable address — so a node is never heard from
+// anonymously: one inbound packet is enough to admit the sender to the
+// membership view and learn its return route. Decoding is strict: unknown
+// version/kind/status/role bytes and trailing bytes are errors, so corrupt
+// datagrams are dropped whole rather than half-applied.
+
+const packetVersion = 1
+
+// Packet kinds.
+const (
+	kindPing    = 1
+	kindAck     = 2
+	kindPingReq = 3
+)
+
+// packetHeaderLen is version + kind + seq + about.
+const packetHeaderLen = 1 + 1 + 4 + 8
+
+// maxAddrLen bounds a member address on the wire (u8 length).
+const maxAddrLen = 255
+
+// packet is one decoded SWIM message.
+type packet struct {
+	kind  uint8
+	seq   uint32
+	about transport.NodeID
+	// sender self-introduction
+	senderRole Role
+	senderInc  uint32
+	senderAddr string
+	rumors     []wireRumor
+}
+
+// wireRumor is one piggybacked membership update.
+type wireRumor struct {
+	status Status
+	m      Member
+	inc    uint32
+}
+
+func encodePacket(p *packet) ([]byte, error) {
+	if len(p.senderAddr) > maxAddrLen {
+		return nil, fmt.Errorf("membership: sender addr %d bytes > %d", len(p.senderAddr), maxAddrLen)
+	}
+	if len(p.rumors) > 0xFFFF {
+		return nil, fmt.Errorf("membership: %d rumors exceed u16", len(p.rumors))
+	}
+	b := make([]byte, 0, packetHeaderLen+8+len(p.senderAddr)+len(p.rumors)*24)
+	b = append(b, packetVersion, p.kind)
+	b = binary.BigEndian.AppendUint32(b, p.seq)
+	b = binary.BigEndian.AppendUint64(b, uint64(p.about))
+	b = append(b, byte(p.senderRole))
+	b = binary.BigEndian.AppendUint32(b, p.senderInc)
+	b = append(b, byte(len(p.senderAddr)))
+	b = append(b, p.senderAddr...)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(p.rumors)))
+	for _, r := range p.rumors {
+		if len(r.m.Addr) > maxAddrLen {
+			return nil, fmt.Errorf("membership: rumor addr %d bytes > %d", len(r.m.Addr), maxAddrLen)
+		}
+		b = append(b, byte(r.status), byte(r.m.Role))
+		b = binary.BigEndian.AppendUint64(b, uint64(r.m.ID))
+		b = binary.BigEndian.AppendUint32(b, r.inc)
+		b = append(b, byte(len(r.m.Addr)))
+		b = append(b, r.m.Addr...)
+	}
+	return b, nil
+}
+
+func decodePacket(raw []byte) (*packet, error) {
+	if len(raw) < packetHeaderLen {
+		return nil, fmt.Errorf("membership: short packet (%d bytes)", len(raw))
+	}
+	if raw[0] != packetVersion {
+		return nil, fmt.Errorf("membership: unknown version %d", raw[0])
+	}
+	p := &packet{kind: raw[1]}
+	if p.kind < kindPing || p.kind > kindPingReq {
+		return nil, fmt.Errorf("membership: unknown kind %d", p.kind)
+	}
+	p.seq = binary.BigEndian.Uint32(raw[2:])
+	p.about = transport.NodeID(binary.BigEndian.Uint64(raw[6:]))
+	rest := raw[packetHeaderLen:]
+
+	var err error
+	if p.senderRole, err = readRole(rest); err != nil {
+		return nil, err
+	}
+	rest = rest[1:]
+	if len(rest) < 4 {
+		return nil, fmt.Errorf("membership: truncated sender incarnation")
+	}
+	p.senderInc = binary.BigEndian.Uint32(rest)
+	rest = rest[4:]
+	if p.senderAddr, rest, err = readAddr(rest); err != nil {
+		return nil, err
+	}
+
+	if len(rest) < 2 {
+		return nil, fmt.Errorf("membership: truncated rumor count")
+	}
+	n := binary.BigEndian.Uint16(rest)
+	rest = rest[2:]
+	if n > 0 {
+		p.rumors = make([]wireRumor, 0, n)
+	}
+	for i := 0; i < int(n); i++ {
+		var r wireRumor
+		if len(rest) < 1 {
+			return nil, fmt.Errorf("membership: truncated rumor status")
+		}
+		r.status = Status(rest[0])
+		if r.status > StatusLeft {
+			return nil, fmt.Errorf("membership: unknown status %d", rest[0])
+		}
+		rest = rest[1:]
+		if r.m.Role, err = readRole(rest); err != nil {
+			return nil, err
+		}
+		rest = rest[1:]
+		if len(rest) < 12 {
+			return nil, fmt.Errorf("membership: truncated rumor body")
+		}
+		r.m.ID = transport.NodeID(binary.BigEndian.Uint64(rest))
+		r.inc = binary.BigEndian.Uint32(rest[8:])
+		rest = rest[12:]
+		if r.m.Addr, rest, err = readAddr(rest); err != nil {
+			return nil, err
+		}
+		p.rumors = append(p.rumors, r)
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("membership: %d trailing bytes", len(rest))
+	}
+	return p, nil
+}
+
+func readRole(b []byte) (Role, error) {
+	if len(b) < 1 {
+		return 0, fmt.Errorf("membership: truncated role")
+	}
+	r := Role(b[0])
+	if r > RoleServer {
+		return 0, fmt.Errorf("membership: unknown role %d", b[0])
+	}
+	return r, nil
+}
+
+func readAddr(b []byte) (string, []byte, error) {
+	if len(b) < 1 {
+		return "", nil, fmt.Errorf("membership: truncated addr length")
+	}
+	n := int(b[0])
+	b = b[1:]
+	if len(b) < n {
+		return "", nil, fmt.Errorf("membership: truncated addr (%d of %d bytes)", len(b), n)
+	}
+	return string(b[:n]), b[n:], nil
+}

@@ -1,0 +1,69 @@
+package membership
+
+import (
+	"testing"
+)
+
+// FuzzSWIMMessage hammers the SWIM packet parser with arbitrary bytes: it
+// must never panic, and every accepted packet must re-encode and decode to
+// the same value. The detector itself must also digest whatever decodes —
+// Handle on a fresh SWIM must not panic on any accepted packet.
+func FuzzSWIMMessage(f *testing.F) {
+	seeds := []*packet{
+		{kind: kindPing, seq: 1, about: 2},
+		{kind: kindAck, seq: 7, about: 1, senderRole: RoleServer, senderInc: 3, senderAddr: "127.0.0.1:9000"},
+		{kind: kindPingReq, seq: 9, about: 5, senderAddr: "10.0.0.1:1234"},
+		{
+			kind: kindAck, seq: 2, about: 3,
+			rumors: []wireRumor{
+				{status: StatusAlive, m: Member{ID: 4, Addr: "127.0.0.1:1", Role: RolePeer}, inc: 1},
+				{status: StatusSuspect, m: Member{ID: 5, Role: RolePeer}, inc: 2},
+				{status: StatusDead, m: Member{ID: 6, Role: RoleServer}, inc: 3},
+				{status: StatusLeft, m: Member{ID: 7}, inc: 0},
+			},
+		},
+	}
+	for _, p := range seeds {
+		raw, err := encodePacket(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{packetVersion})
+	f.Add([]byte{0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := decodePacket(raw)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		out, err := encodePacket(p)
+		if err != nil {
+			t.Fatalf("decoded packet failed to re-encode: %v (%+v)", err, p)
+		}
+		again, err := decodePacket(out)
+		if err != nil {
+			t.Fatalf("re-encoded packet failed to decode: %v", err)
+		}
+		if again.kind != p.kind || again.seq != p.seq || again.about != p.about {
+			t.Fatalf("round trip changed header: %+v vs %+v", again, p)
+		}
+		if again.senderRole != p.senderRole || again.senderInc != p.senderInc || again.senderAddr != p.senderAddr {
+			t.Fatalf("round trip changed sender intro: %+v vs %+v", again, p)
+		}
+		if len(again.rumors) != len(p.rumors) {
+			t.Fatalf("round trip changed rumor count: %d vs %d", len(again.rumors), len(p.rumors))
+		}
+		for i := range p.rumors {
+			if again.rumors[i] != p.rumors[i] {
+				t.Fatalf("round trip changed rumor %d: %+v vs %+v", i, again.rumors[i], p.rumors[i])
+			}
+		}
+		// The detector must swallow anything the codec accepts.
+		s := New(Member{ID: 1}, Config{Seed: 1})
+		s.Handle(0.1, 2, raw)
+		s.Tick(0.2)
+	})
+}

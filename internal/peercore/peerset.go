@@ -1,0 +1,74 @@
+package peercore
+
+// PeerSet is an ordered, mutable set of peer IDs — the gossip (or pull)
+// target set a node samples from. With a static topology the set is fixed
+// at construction in neighbor-list order, so seeded random draws by index
+// reproduce the historical behavior exactly; with gossip membership the
+// set tracks the live view as members join, die, and rejoin.
+//
+// IDs are plain uint64 rather than transport.NodeID so peercore stays
+// independent of the transport layer, matching the rest of the package.
+// PeerSet is not safe for concurrent use; callers guard it with the same
+// lock that guards their sampling RNG.
+type PeerSet struct {
+	order []uint64
+	index map[uint64]int
+}
+
+// NewPeerSet builds a set holding ids in order, ignoring duplicates after
+// their first appearance.
+func NewPeerSet(ids ...uint64) *PeerSet {
+	s := &PeerSet{index: make(map[uint64]int, len(ids))}
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Len returns the number of peers in the set.
+func (s *PeerSet) Len() int { return len(s.order) }
+
+// At returns the i-th peer in insertion order. With a fixed set this makes
+// rng.Intn(Len()) indexing identical to indexing the original slice.
+func (s *PeerSet) At(i int) uint64 { return s.order[i] }
+
+// Contains reports membership.
+func (s *PeerSet) Contains(id uint64) bool {
+	_, ok := s.index[id]
+	return ok
+}
+
+// Add appends id if absent and reports whether it was added.
+func (s *PeerSet) Add(id uint64) bool {
+	if _, ok := s.index[id]; ok {
+		return false
+	}
+	s.index[id] = len(s.order)
+	s.order = append(s.order, id)
+	return true
+}
+
+// Remove deletes id, preserving the relative order of the remaining peers
+// (an O(n) shift — peer sets are small and removals rare), and reports
+// whether it was present. Order preservation keeps draw sequences
+// deterministic across runs that see the same membership events.
+func (s *PeerSet) Remove(id uint64) bool {
+	i, ok := s.index[id]
+	if !ok {
+		return false
+	}
+	copy(s.order[i:], s.order[i+1:])
+	s.order = s.order[:len(s.order)-1]
+	delete(s.index, id)
+	for j := i; j < len(s.order); j++ {
+		s.index[s.order[j]] = j
+	}
+	return true
+}
+
+// Snapshot copies the current members in order.
+func (s *PeerSet) Snapshot() []uint64 {
+	out := make([]uint64, len(s.order))
+	copy(out, s.order)
+	return out
+}

@@ -1,0 +1,59 @@
+package peercore
+
+import "testing"
+
+func TestPeerSetOrderAndLookup(t *testing.T) {
+	s := NewPeerSet(5, 3, 9, 3) // duplicate 3 ignored
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	want := []uint64{5, 3, 9}
+	for i, id := range want {
+		if s.At(i) != id {
+			t.Errorf("At(%d) = %d, want %d", i, s.At(i), id)
+		}
+	}
+	if !s.Contains(9) || s.Contains(4) {
+		t.Error("Contains wrong")
+	}
+}
+
+func TestPeerSetRemovePreservesOrder(t *testing.T) {
+	s := NewPeerSet(1, 2, 3, 4, 5)
+	if !s.Remove(3) {
+		t.Fatal("Remove(3) reported absent")
+	}
+	if s.Remove(3) {
+		t.Fatal("second Remove(3) reported present")
+	}
+	got := s.Snapshot()
+	want := []uint64{1, 2, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("Snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Snapshot = %v, want %v", got, want)
+		}
+	}
+	// Index map must stay consistent for removals after the shift.
+	if !s.Remove(5) || s.Contains(5) || s.Len() != 3 {
+		t.Fatal("Remove after shift broke the index")
+	}
+	if s.At(0) != 1 || s.At(1) != 2 || s.At(2) != 4 {
+		t.Fatalf("order after removals: %v", s.Snapshot())
+	}
+}
+
+func TestPeerSetReaddAfterRemove(t *testing.T) {
+	s := NewPeerSet(1, 2)
+	s.Remove(1)
+	if !s.Add(1) {
+		t.Fatal("re-Add reported duplicate")
+	}
+	// Re-added peers go to the back: the set is insertion-ordered, not
+	// historically ordered.
+	if s.At(0) != 2 || s.At(1) != 1 {
+		t.Fatalf("order after re-add: %v", s.Snapshot())
+	}
+}

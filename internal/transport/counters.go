@@ -33,6 +33,10 @@ const (
 	// ctrInboxDrops counts inbound messages dropped because the local inbox
 	// was full.
 	ctrInboxDrops
+	// ctrDropsOversize counts messages dropped because their encoded frame
+	// exceeded the datagram size limit (MTU guard on connectionless
+	// transports).
+	ctrDropsOversize
 	// ctrFaultLossDrops counts messages dropped by injected random loss.
 	ctrFaultLossDrops
 	// ctrFaultPartitionDrops counts messages dropped by an injected
@@ -54,6 +58,7 @@ var transportCounterNames = [numTransportCounters]string{
 	ctrDropsDown:           "transportDropsDown",
 	ctrReconnects:          "transportReconnects",
 	ctrInboxDrops:          "transportInboxDrops",
+	ctrDropsOversize:       "transportDropsOversize",
 	ctrFaultLossDrops:      "transportFaultLossDrops",
 	ctrFaultPartitionDrops: "transportFaultPartitionDrops",
 	ctrFaultDelayed:        "transportFaultDelayed",

@@ -64,6 +64,23 @@ func NewFaulty(inner Transport, cfg FaultConfig, rng *randx.Rand) *Faulty {
 // LocalID returns the wrapped transport's identity.
 func (f *Faulty) LocalID() NodeID { return f.inner.LocalID() }
 
+// Addr returns the wrapped transport's listen address, or "" when the
+// inner transport has no addressing (the in-memory fabric).
+func (f *Faulty) Addr() string {
+	if a, ok := f.inner.(interface{ Addr() string }); ok {
+		return a.Addr()
+	}
+	return ""
+}
+
+// AddRoute forwards route registration to an address-book inner transport;
+// a no-op otherwise. Fault injection applies to traffic, not routing.
+func (f *Faulty) AddRoute(id NodeID, addr string) {
+	if r, ok := f.inner.(interface{ AddRoute(NodeID, string) }); ok {
+		r.AddRoute(id, addr)
+	}
+}
+
 // Receive returns the wrapped transport's incoming channel.
 func (f *Faulty) Receive() <-chan *Message { return f.inner.Receive() }
 

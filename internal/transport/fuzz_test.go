@@ -74,6 +74,8 @@ func FuzzDecodeMessage(f *testing.F) {
 			Trace: obs.TraceContext{ID: 42, Hop: 1},
 		},
 		{Type: MsgPullRequest, From: 1, To: 2, Trace: obs.TraceContext{ID: 9, Hop: 0}},
+		{Type: MsgSwim, From: 3, To: 4, Raw: []byte{1, 1, 0, 0, 0, 7, 0xAB}},
+		{Type: MsgSwim, From: 3, To: 4},
 	}
 	for _, m := range seeds {
 		frame, err := EncodeMessage(m)
@@ -125,6 +127,9 @@ func FuzzDecodeMessage(f *testing.F) {
 				t.Fatalf("round trip changed inventory entry %d: %+v vs %+v", i, again.Inventory[i], m.Inventory[i])
 			}
 		}
+		if !bytes.Equal(again.Raw, m.Raw) {
+			t.Fatalf("round trip changed swim payload: %x vs %x", again.Raw, m.Raw)
+		}
 		if (m.Block == nil) != (again.Block == nil) {
 			t.Fatal("round trip changed block presence")
 		}
@@ -134,6 +139,81 @@ func FuzzDecodeMessage(f *testing.F) {
 				!bytes.Equal(again.Block.Payload, m.Block.Payload) {
 				t.Fatal("round trip changed block contents")
 			}
+		}
+	})
+}
+
+// FuzzDatagramDecode hammers the datagram entry point — the frame codec as
+// a UDP receiver sees it, one body per datagram with no length prefix. It
+// must never panic, every accepted datagram must re-encode within the
+// receiver's implied size bound, and the round trip must be a fixed point
+// including the trace-context suffix and opaque swim payloads.
+func FuzzDatagramDecode(f *testing.F) {
+	seeds := []*Message{
+		{Type: MsgPullRequest, From: 1, To: 2},
+		{
+			Type: MsgPullRequest, From: 1, To: 2,
+			HasHint: true, Seg: rlnc.SegmentID{Origin: 7, Seq: 3},
+			Trace: obs.TraceContext{ID: 42, Hop: 1},
+		},
+		{Type: MsgEmpty, From: 2, To: 1},
+		{Type: MsgSegmentComplete, From: 3, To: 4, Seg: rlnc.SegmentID{Origin: 3, Seq: 9}},
+		{
+			Type: MsgBlock, From: 5, To: 6,
+			Trace: obs.TraceContext{ID: 0xDEADBEEF, Hop: 3},
+			Block: &rlnc.CodedBlock{
+				Seg:     rlnc.SegmentID{Origin: 5, Seq: 1},
+				Coeffs:  []byte{1, 2, 3},
+				Payload: []byte("payload"),
+			},
+		},
+		{Type: MsgSwim, From: 3, To: 4, Raw: []byte{1, 2, 0, 0, 0, 9, 0, 0, 0, 0, 0, 0, 0, 7}},
+		{
+			Type: MsgInventory, From: 2, To: 1,
+			Inventory: []pullsched.InventoryEntry{
+				{Seg: rlnc.SegmentID{Origin: 7, Seq: 3}, Blocks: 4},
+			},
+		},
+	}
+	for _, m := range seeds {
+		dg, err := EncodeDatagram(m, 0)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(dg)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xFF})
+	// Corrupt datagram corners: truncated trace suffix, trailing garbage.
+	if dg, err := EncodeDatagram(seeds[4], 0); err == nil {
+		f.Add(dg[:len(dg)-1])
+		f.Add(append(append([]byte{}, dg...), 0xCC))
+	}
+
+	f.Fuzz(func(t *testing.T, dg []byte) {
+		m, err := DecodeDatagram(dg)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Anything accepted must re-encode within a bound no smaller than
+		// what was received — a decode must never inflate past the MTU class
+		// it arrived in.
+		out, err := EncodeDatagram(m, len(dg))
+		if err != nil {
+			t.Fatalf("decoded datagram failed to re-encode in %d bytes: %v (%+v)", len(dg), err, m)
+		}
+		again, err := DecodeDatagram(out)
+		if err != nil {
+			t.Fatalf("re-encoded datagram failed to decode: %v", err)
+		}
+		if again.Type != m.Type || again.From != m.From || again.To != m.To || again.Seg != m.Seg {
+			t.Fatalf("round trip changed header: %+v vs %+v", again, m)
+		}
+		if again.Trace != m.Trace {
+			t.Fatalf("round trip changed trace context: %+v vs %+v", again.Trace, m.Trace)
+		}
+		if !bytes.Equal(again.Raw, m.Raw) {
+			t.Fatalf("round trip changed swim payload: %x vs %x", again.Raw, m.Raw)
 		}
 	})
 }

@@ -43,6 +43,10 @@ const (
 	// The payload is identical to MsgBlock; the distinct type keeps pull
 	// accounting (RTT, policy feedback) off the server-to-server path.
 	MsgExchange
+	// MsgSwim carries one SWIM membership packet (ping, ping-req, ack,
+	// piggybacked rumors) as an opaque payload. The transport moves the
+	// bytes; internal/membership owns their encoding.
+	MsgSwim
 )
 
 // String names the message type for logs.
@@ -60,6 +64,8 @@ func (t MsgType) String() string {
 		return "inventory"
 	case MsgExchange:
 		return "exchange"
+	case MsgSwim:
+		return "swim"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -90,6 +96,9 @@ type Message struct {
 	// lineage) encodes to exactly the legacy byte stream, mirroring how a
 	// hintless pull stays the legacy empty payload.
 	Trace obs.TraceContext
+	// Raw is set for MsgSwim: the membership packet bytes, opaque to the
+	// transport.
+	Raw []byte
 }
 
 // ErrClosed is returned by Send after the transport was closed.

@@ -1,0 +1,309 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"p2pcollect/internal/metrics"
+)
+
+// UDPOptions tunes the UDP transport. The zero value selects the defaults
+// documented on each field.
+type UDPOptions struct {
+	// MaxDatagram bounds one encoded frame body; messages that would exceed
+	// it are dropped and counted (transportDropsOversize) instead of being
+	// fragmented by the IP layer, where losing any one fragment loses the
+	// whole frame. The protocol tolerates the drop — coded blocks are
+	// fungible — so an oversized frame costs a retransmission opportunity,
+	// nothing more. Default 1400 (Ethernet MTU minus IP/UDP headers);
+	// raise it toward 65507 on loopback or jumbo-frame fabrics.
+	MaxDatagram int
+	// OutboxSize bounds the send queue drained by the writer goroutine.
+	// When full, the oldest queued message is dropped. Default 512.
+	OutboxSize int
+}
+
+func (o UDPOptions) withDefaults() UDPOptions {
+	if o.MaxDatagram <= 0 {
+		o.MaxDatagram = 1400
+	}
+	if o.MaxDatagram > maxUDPPayload {
+		o.MaxDatagram = maxUDPPayload
+	}
+	if o.OutboxSize <= 0 {
+		o.OutboxSize = 512
+	}
+	return o
+}
+
+// maxUDPPayload is the largest payload a UDP datagram can carry (IPv4
+// 65535 minus the 20-byte IP and 8-byte UDP headers).
+const maxUDPPayload = 65507
+
+// UDPTransport carries protocol frames as fire-and-forget datagrams: one
+// message, one datagram, no connection, no retransmission. This matches the
+// protocol's loss tolerance — gossip pushes, pull requests, and pull
+// replies are all fungible or repeatable — and removes the per-destination
+// goroutines and connections that cap the TCP transport's fan-out.
+//
+// Send never blocks on the network: it enqueues onto one bounded outbox
+// drained by a writer goroutine that encodes and sends each datagram. An
+// unresolvable or oversized message is dropped and counted. Inbound
+// datagrams are decoded and delivered to the inbox, dropping on
+// backpressure.
+//
+// Destinations resolve through an address book (AddRoute), and the
+// transport also learns return routes from the source address of every
+// valid datagram it receives — so a node reached through a SWIM rumor can
+// be answered before any static book entry exists.
+type UDPTransport struct {
+	id       NodeID
+	opts     UDPOptions
+	conn     *net.UDPConn
+	inbox    chan *Message
+	outbox   chan *Message
+	counters *metrics.CounterSet
+	stop     chan struct{}
+
+	mu     sync.Mutex
+	routes map[NodeID]*net.UDPAddr
+	book   map[NodeID]string
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+var _ Transport = (*UDPTransport)(nil)
+var _ Instrumented = (*UDPTransport)(nil)
+var _ CounterRanger = (*UDPTransport)(nil)
+var _ DepthReporter = (*UDPTransport)(nil)
+
+// ListenUDP starts a datagram transport for id on addr (use "127.0.0.1:0"
+// for an ephemeral port) with the given address book and default options.
+// The book is copied; add later routes with AddRoute or let the transport
+// learn them from inbound traffic.
+func ListenUDP(id NodeID, addr string, book map[NodeID]string) (*UDPTransport, error) {
+	return ListenUDPOpts(id, addr, book, UDPOptions{})
+}
+
+// ListenUDPOpts is ListenUDP with explicit options.
+func ListenUDPOpts(id NodeID, addr string, book map[NodeID]string, opts UDPOptions) (*UDPTransport, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: resolve %s: %w", addr, err)
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen udp %s: %w", addr, err)
+	}
+	opts = opts.withDefaults()
+	t := &UDPTransport{
+		id:       id,
+		opts:     opts,
+		conn:     conn,
+		inbox:    make(chan *Message, defaultInboxSize),
+		outbox:   make(chan *Message, opts.OutboxSize),
+		counters: newTransportCounters(),
+		stop:     make(chan struct{}),
+		routes:   make(map[NodeID]*net.UDPAddr),
+		book:     make(map[NodeID]string, len(book)),
+	}
+	for k, v := range book {
+		t.book[k] = v
+	}
+	t.wg.Add(2)
+	go t.writeLoop()
+	go t.readLoop()
+	return t, nil
+}
+
+// Addr returns the transport's bound listen address.
+func (t *UDPTransport) Addr() string { return t.conn.LocalAddr().String() }
+
+// LocalID returns the node this transport serves.
+func (t *UDPTransport) LocalID() NodeID { return t.id }
+
+// Receive returns the incoming message channel. It is closed on Close.
+func (t *UDPTransport) Receive() <-chan *Message { return t.inbox }
+
+// Counters returns a snapshot of the transport's health counters.
+func (t *UDPTransport) Counters() map[string]int64 { return t.counters.Snapshot() }
+
+// RangeCounters visits the health counters without allocating.
+func (t *UDPTransport) RangeCounters(f func(name string, v int64)) { t.counters.Range(f) }
+
+// OutboxDepth returns the messages queued and not yet written to the
+// socket.
+func (t *UDPTransport) OutboxDepth() int { return len(t.outbox) }
+
+// AddRoute registers or replaces the dialable address for a node. The
+// address is resolved lazily on first send, so an unresolvable entry costs
+// only the sends toward it.
+func (t *UDPTransport) AddRoute(id NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.book[id] = addr
+	delete(t.routes, id) // re-resolve on next send
+}
+
+// Routes snapshots the known id→address mapping (book entries plus learned
+// return routes), for membership layers that advertise reachability.
+func (t *UDPTransport) Routes() map[NodeID]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[NodeID]string, len(t.book)+len(t.routes))
+	for id, addr := range t.book {
+		out[id] = addr
+	}
+	for id, ua := range t.routes {
+		out[id] = ua.String()
+	}
+	return out
+}
+
+// Send enqueues m for the writer goroutine and returns immediately. Unknown
+// destinations are reported only when no route can ever resolve (not in the
+// book and never heard from); everything else is best-effort and visible
+// through the health counters.
+func (t *UDPTransport) Send(to NodeID, m *Message) error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return ErrClosed
+	}
+	_, haveRoute := t.routes[to]
+	if !haveRoute {
+		_, haveRoute = t.book[to]
+	}
+	t.mu.Unlock()
+	if !haveRoute {
+		return fmt.Errorf("%w: %d", ErrUnknownNode, to)
+	}
+	cp := *m
+	cp.From = t.id
+	cp.To = to
+	t.counters.Add(ctrSendsEnqueued, 1)
+	for {
+		select {
+		case t.outbox <- &cp:
+			return nil
+		default:
+		}
+		// Drop-oldest mirrors the protocol's preference for fresh blocks.
+		select {
+		case <-t.outbox:
+			t.counters.Add(ctrDropsOverflow, 1)
+		default:
+		}
+	}
+}
+
+// Close shuts the socket and both loops down, then closes the inbox.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	close(t.stop)
+	t.conn.Close() // unblocks the read loop
+	t.wg.Wait()
+	close(t.inbox)
+	return nil
+}
+
+// resolve returns the destination's UDP address, resolving and caching a
+// book entry on first use.
+func (t *UDPTransport) resolve(to NodeID) (*net.UDPAddr, bool) {
+	t.mu.Lock()
+	if ua, ok := t.routes[to]; ok {
+		t.mu.Unlock()
+		return ua, true
+	}
+	addr, ok := t.book[to]
+	t.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, false
+	}
+	t.mu.Lock()
+	t.routes[to] = ua
+	t.mu.Unlock()
+	return ua, true
+}
+
+// learnRoute records the source address of a valid inbound datagram as the
+// return route to its sender. A changed address (rejoin after restart,
+// NAT rebind) replaces the old one: the freshest observation wins.
+func (t *UDPTransport) learnRoute(from NodeID, src *net.UDPAddr) {
+	if from == t.id || src == nil {
+		return
+	}
+	t.mu.Lock()
+	t.routes[from] = src
+	t.mu.Unlock()
+}
+
+func (t *UDPTransport) writeLoop() {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case m := <-t.outbox:
+			payload, err := EncodeDatagram(m, t.opts.MaxDatagram)
+			if err != nil {
+				if errors.Is(err, ErrFrameTooLarge) {
+					t.counters.Add(ctrDropsOversize, 1)
+				} else {
+					t.counters.Add(ctrWriteErrors, 1)
+				}
+				continue
+			}
+			ua, ok := t.resolve(m.To)
+			if !ok {
+				t.counters.Add(ctrDropsDown, 1)
+				continue
+			}
+			if _, err := t.conn.WriteToUDP(payload, ua); err != nil {
+				t.counters.Add(ctrWriteErrors, 1)
+				continue
+			}
+			t.counters.Add(ctrFramesDelivered, 1)
+		}
+	}
+}
+
+func (t *UDPTransport) readLoop() {
+	defer t.wg.Done()
+	buf := make([]byte, maxUDPPayload)
+	for {
+		n, src, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		m, err := DecodeDatagram(buf[:n])
+		if err != nil {
+			continue // corrupt datagram; the protocol tolerates the loss
+		}
+		t.learnRoute(m.From, src)
+		select {
+		case <-t.stop:
+			return
+		default:
+		}
+		select {
+		case t.inbox <- m:
+		default:
+			// Backpressure: drop, matching the loss-tolerant protocol.
+			t.counters.Add(ctrInboxDrops, 1)
+		}
+	}
+}

@@ -44,6 +44,13 @@ import (
 // MsgInventory payload:       u32 n | n × (u64 origin | u64 seq | u16 blocks)
 // MsgExchange payload:        identical to MsgBlock (including the optional
 //	                           trace context)
+// MsgSwim payload:            u32 rawLen | raw  — one membership packet,
+//	                           opaque to the transport (internal/membership
+//	                           owns the bytes)
+//
+// Datagram transports reuse the same codec: one datagram carries exactly one
+// frame body (no u32 length prefix — the datagram boundary is the frame
+// boundary). See EncodeDatagram / DecodeDatagram.
 
 // maxFrameSize bounds a frame body, both on the read side (guarding
 // against corrupt length prefixes) and on the encode side (a frame the
@@ -118,6 +125,8 @@ func EncodeMessage(m *Message) ([]byte, error) {
 		}
 	case MsgEmpty:
 		// No payload.
+	case MsgSwim:
+		body = appendBytes(body, m.Raw)
 	case MsgInventory:
 		body = appendUint32(body, uint32(len(m.Inventory)))
 		for _, e := range m.Inventory {
@@ -249,6 +258,16 @@ func DecodeMessage(body []byte) (*Message, error) {
 		if len(rest) != 0 {
 			return nil, fmt.Errorf("transport: %d trailing bytes", len(rest))
 		}
+	case MsgSwim:
+		var raw []byte
+		var err error
+		if raw, rest, err = readBytes(rest); err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("transport: %d trailing bytes", len(rest))
+		}
+		m.Raw = raw
 	case MsgInventory:
 		if len(rest) < 4 {
 			return nil, fmt.Errorf("transport: truncated inventory count")
@@ -276,6 +295,30 @@ func DecodeMessage(body []byte) (*Message, error) {
 	}
 	return m, nil
 }
+
+// EncodeDatagram serializes m into a single self-contained datagram payload:
+// the stream codec's frame body without the u32 length prefix, since the
+// datagram boundary already frames it. maxSize guards against payloads the
+// path MTU (or the UDP maximum) would truncate or fragment away — a frame
+// over the limit returns ErrFrameTooLarge instead of producing a datagram no
+// receiver can reassemble. maxSize <= 0 applies only the codec's own
+// maxFrameSize bound.
+func EncodeDatagram(m *Message, maxSize int) ([]byte, error) {
+	frame, err := EncodeMessage(m)
+	if err != nil {
+		return nil, err
+	}
+	body := frame[4:]
+	if maxSize > 0 && len(body) > maxSize {
+		return nil, fmt.Errorf("%w: datagram %d bytes > %d", ErrFrameTooLarge, len(body), maxSize)
+	}
+	return body, nil
+}
+
+// DecodeDatagram parses one datagram payload (a frame body, as produced by
+// EncodeDatagram). All decoded fields are copies, so the caller may reuse
+// its receive buffer.
+func DecodeDatagram(b []byte) (*Message, error) { return DecodeMessage(b) }
 
 // WriteFrame writes one encoded message to w.
 func WriteFrame(w io.Writer, m *Message) error {

@@ -35,6 +35,7 @@ import (
 	"p2pcollect/internal/fleet"
 	"p2pcollect/internal/gf256"
 	"p2pcollect/internal/live"
+	"p2pcollect/internal/membership"
 	"p2pcollect/internal/obs"
 	"p2pcollect/internal/ode"
 	"p2pcollect/internal/pullsched"
@@ -222,6 +223,57 @@ func NewTCPTransport(id NodeID, addr string, book map[NodeID]string) (*transport
 // outbox, and reconnect-backoff options.
 func NewTCPTransportOpts(id NodeID, addr string, book map[NodeID]string, opts TCPOptions) (*transport.TCPTransport, error) {
 	return transport.ListenTCPOpts(id, addr, book, opts)
+}
+
+type (
+	// UDPOptions tunes the datagram transport's maximum datagram size
+	// (MTU guard) and outbox bound.
+	UDPOptions = transport.UDPOptions
+	// MembershipConfig parameterizes the SWIM failure detector a node or
+	// server runs when NodeConfig.Membership / ServerConfig.Membership is
+	// set: seed members, probe period, suspicion timeout, and rumor
+	// budgets. The zero value (plus Seeds) accepts the defaults.
+	MembershipConfig = membership.Config
+	// Member is one endpoint in the membership gossip: its transport ID,
+	// dialable address (empty on the in-memory fabric), and role.
+	Member = membership.Member
+	// MemberRole distinguishes gossip peers from logging servers in the
+	// membership gossip; only MemberPeer members enter gossip and pull
+	// target sets.
+	MemberRole = membership.Role
+	// MemberStatus is a member's detector state: alive, suspect, dead, or
+	// left.
+	MemberStatus = membership.Status
+	// MembershipAgent is a running SWIM detector (Node.Membership /
+	// Server.Membership): query Alive and Status for the local view.
+	MembershipAgent = membership.Agent
+)
+
+// Membership roles and statuses.
+const (
+	MemberPeer    = membership.RolePeer
+	MemberServer  = membership.RoleServer
+	MemberAlive   = membership.StatusAlive
+	MemberSuspect = membership.StatusSuspect
+	MemberDead    = membership.StatusDead
+	MemberLeft    = membership.StatusLeft
+)
+
+// NewUDPTransport starts the datagram transport for id on addr (":0" for
+// an ephemeral port). Every protocol message rides one fire-and-forget UDP
+// datagram: no connections, no retransmission — RLNC's coded redundancy is
+// the loss recovery. Frames larger than the configured max datagram are
+// dropped (and counted) rather than fragmented, and routes are learned
+// from the source address of incoming datagrams on top of the book, so a
+// static book is optional when SWIM membership is running.
+func NewUDPTransport(id NodeID, addr string, book map[NodeID]string) (*transport.UDPTransport, error) {
+	return transport.ListenUDP(id, addr, book)
+}
+
+// NewUDPTransportOpts is NewUDPTransport with explicit datagram-size and
+// outbox options.
+func NewUDPTransportOpts(id NodeID, addr string, book map[NodeID]string, opts UDPOptions) (*transport.UDPTransport, error) {
+	return transport.ListenUDPOpts(id, addr, book, opts)
 }
 
 // PullPolicies lists the built-in pull-scheduling policy names: "blind"
